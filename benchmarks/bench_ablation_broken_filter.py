@@ -1,0 +1,86 @@
+"""Ablation — §10's broken-filter hazard.
+
+"File system filter drivers that do not implement all of [the] methods of
+the FastIO interface, not even as a passthrough operation, severely
+handicap the system by blocking the access of the IO manager to the
+FastIO interface of the underlying file system and thus to the cache
+manager."
+
+This bench runs the same seeded single-machine workload twice: once with
+the correct pass-through trace filter, once with a filter that declines
+every FastIO call.  With the broken filter every data request falls back
+to the IRP path; the FastIO share collapses to zero and data-path latency
+rises.
+"""
+
+import types
+
+import numpy as np
+
+from repro.analysis.fastio import analyze_fastio
+from repro.analysis.warehouse import TraceWarehouse
+from repro.nt.fs.volume import Volume
+from repro.nt.io.fastio import FastIoResult
+from repro.nt.system import Machine, MachineConfig
+from repro.workload.apps import AppContext, CompilerApp, MailApp, WebBrowserApp
+from repro.workload.content import build_system_volume
+
+from benchmarks.conftest import print_header, print_row
+
+
+def _run(broken_filter: bool) -> tuple[float, float, float]:
+    machine = Machine(MachineConfig(name="ablation", seed=55,
+                                    memory_mb=96))
+    volume = Volume("C", capacity_bytes=8 << 30)
+    catalog = build_system_volume(volume, machine.rng, scale=0.08,
+                                  developer=True)
+    machine.mount("C", volume)
+    if broken_filter:
+        for filt in machine.trace_filters:
+            filt.fastio = types.MethodType(
+                lambda self, op, irp_like, device: FastIoResult.declined(),
+                filt)
+    for cls in (CompilerApp, WebBrowserApp, MailApp):
+        process = machine.create_process(cls.name, cls.interactive)
+        ctx = AppContext(machine=machine, process=process, catalog=catalog,
+                         rng=machine.rng)
+        app = cls(ctx)
+        app.on_start()
+        for _ in range(4):
+            if app.step() is None:
+                break
+        app.on_exit()
+    machine.finish_tracing(drain_ticks=3 * 10_000_000)
+    wh = TraceWarehouse([machine.collector])
+    fio = analyze_fastio(wh)
+    # Application-visible read latency: FastIO reads plus non-paging IRP
+    # reads (paging traffic is the VM manager's, identical in both runs).
+    from repro.nt.tracing.records import TraceEventKind
+    app_reads = (wh.mask_kind(TraceEventKind.FASTIO_READ)
+                 | (wh.mask_kind(TraceEventKind.IRP_READ)
+                    & ~wh.mask_paging))
+    lat = wh.durations_micros(app_reads)
+    return (fio.fastio_read_share_pct, fio.fastio_write_share_pct,
+            float(np.median(lat)) if lat.size else float("nan"))
+
+
+def test_ablation_broken_filter(benchmark):
+    good_read, good_write, good_latency = benchmark(_run, False)
+    broken_read, broken_write, broken_latency = _run(True)
+    print_header("Ablation: FastIO pass-through vs a broken filter (§10)")
+    print_row("FastIO read share (pass-through)", "59%",
+              f"{good_read:.0f}%")
+    print_row("FastIO read share (broken filter)", "0%",
+              f"{broken_read:.0f}%")
+    print_row("FastIO write share (pass-through)", "96%",
+              f"{good_write:.0f}%")
+    print_row("FastIO write share (broken filter)", "0%",
+              f"{broken_write:.0f}%")
+    print_row("median read latency (pass-through)", "-",
+              f"{good_latency:.0f} us")
+    print_row("median read latency (broken filter)", "higher",
+              f"{broken_latency:.0f} us")
+    assert broken_read == 0.0
+    assert broken_write == 0.0
+    assert good_read > 30
+    assert broken_latency > good_latency

@@ -1,0 +1,43 @@
+"""Figures 1 and 2 — sequential run length CDFs.
+
+Figure 1 weights runs by count ("percentage of files"); figure 2 weights
+by bytes transferred.  The paper's marks: the 80% point of read runs sits
+near 11 KB by count, and most bytes move in much longer runs.
+"""
+
+import numpy as np
+
+from repro.analysis.patterns import run_length_distributions
+from repro.stats.descriptive import cdf_quantile, cdf_value_at
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_fig01_02_run_lengths(benchmark, warehouse):
+    runs = benchmark(run_length_distributions, warehouse)
+    print_header("Figures 1-2: sequential run lengths")
+    for reads, label in ((True, "read runs"), (False, "write runs")):
+        x_f, p_f = runs.by_files(reads)
+        x_b, p_b = runs.by_bytes(reads)
+        q80_files = cdf_quantile(x_f, p_f, 0.80)
+        q80_bytes = cdf_quantile(x_b, p_b, 0.80)
+        print_row(f"{label}: 80% mark by count",
+                  "~11 KB (reads)", f"{q80_files / 1024:.1f} KB")
+        print_row(f"{label}: 80% mark by bytes",
+                  "much larger", f"{q80_bytes / 1024:.1f} KB")
+        print_row(f"{label}: count at 10 KB",
+                  "~80% (reads)", f"{100 * cdf_value_at(x_f, p_f, 10240):.0f}%")
+        # Figure 2's shape: weighting by bytes shifts the curve right.
+        assert q80_bytes >= q80_files
+
+    # Print curve series at the paper's x-axis decades for plotting.
+    marks = [10, 100, 1024, 10 * 1024, 100 * 1024]
+    for reads, label in ((True, "read"), (False, "write")):
+        x_f, p_f = runs.by_files(reads)
+        x_b, p_b = runs.by_bytes(reads)
+        series_files = [f"{100 * cdf_value_at(x_f, p_f, m):.0f}"
+                        for m in marks]
+        series_bytes = [f"{100 * cdf_value_at(x_b, p_b, m):.0f}"
+                        for m in marks]
+        print(f"  fig1 {label}-run CDF @ {marks}: {series_files}")
+        print(f"  fig2 {label}-run CDF @ {marks}: {series_bytes}")

@@ -1,0 +1,40 @@
+"""Figures 3 and 4 — file size CDFs weighted by opens and by bytes.
+
+Paper marks: ~40% of operations go to files under 2 KB, most accessed
+files are small, yet the bytes-weighted curve is dominated by large files
+(the heavy tail of §6.2).
+"""
+
+import numpy as np
+
+from repro.analysis.patterns import USAGES, file_size_distributions
+from repro.stats.descriptive import cdf_quantile, cdf_value_at
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_fig03_04_file_sizes(benchmark, warehouse):
+    sizes = benchmark(file_size_distributions, warehouse)
+    print_header("Figures 3-4: file sizes of opened files")
+    x, p = sizes.combined_by_opens()
+    print_row("80th percentile by opens", "~26 KB",
+              f"{cdf_quantile(x, p, 0.80) / 1024:.1f} KB")
+    print_row("opens to files < 2 KB", "~40%",
+              f"{100 * cdf_value_at(x, p, 2048):.0f}%")
+
+    marks = [100, 1024, 10 * 1024, 100 * 1024, 1 << 20, 10 << 20]
+    for usage in USAGES:
+        if sizes.sizes[usage].size == 0:
+            continue
+        xo, po = sizes.by_opens(usage)
+        xb, pb = sizes.by_bytes(usage)
+        so = [f"{100 * cdf_value_at(xo, po, m):.0f}" for m in marks]
+        sb = [f"{100 * cdf_value_at(xb, pb, m):.0f}" for m in marks]
+        print(f"  fig3 {usage} CDF @ {marks}: {so}")
+        print(f"  fig4 {usage} CDF @ {marks}: {sb}")
+
+    # Shape: the bytes-weighted distribution sits far to the right of the
+    # opens-weighted one (big files carry the bytes).
+    ro_opens_median = cdf_quantile(*sizes.by_opens("read-only"), 0.5)
+    ro_bytes_median = cdf_quantile(*sizes.by_bytes("read-only"), 0.5)
+    assert ro_bytes_median > ro_opens_median

@@ -1,0 +1,56 @@
+"""Figures 6 and 7 — new-file lifetimes by deletion method, and the
+size-versus-lifetime scatter that shows no correlation."""
+
+import numpy as np
+
+from repro.analysis.lifetimes import analyze_lifetimes
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_fig06_07_lifetimes(benchmark, warehouse):
+    lt = benchmark(analyze_lifetimes, warehouse)
+    print_header("Figures 6-7 / §6.3: new-file lifetimes")
+    shares = lt.method_shares()
+    print_row("deletions via overwrite/truncate", "37%",
+              f"{shares['overwrite']:.0f}%")
+    print_row("deletions via explicit delete", "62%",
+              f"{shares['explicit']:.0f}%")
+    print_row("deletions via temporary attribute", "1%",
+              f"{shares['temporary']:.1f}%")
+    print_row("all deleted within 4 s", "~80%",
+              f"{100 * lt.fraction_deleted_within(4.0):.0f}%")
+    print_row("overwrites within 4 ms of creation", "~75%",
+              f"{100 * lt.fraction_deleted_within(0.004, 'overwrite'):.0f}%")
+    print_row("explicit deletes within 4 s", "72%",
+              f"{100 * lt.fraction_deleted_within(4.0, 'explicit'):.0f}%")
+    if lt.close_to_overwrite_gaps.size:
+        frac = np.mean(lt.close_to_overwrite_gaps <= 0.7 * 10_000)  # 0.7 ms
+        print_row("overwritten within 0.7 ms of close", ">75%",
+                  f"{100 * frac:.0f}%")
+    if lt.overwrite_total_matched:
+        print_row("overwrite by the creating process", "94%",
+                  f"{100 * lt.overwrite_same_process / lt.overwrite_total_matched:.0f}%")
+    if lt.delete_total_matched:
+        print_row("explicit delete by the creating process", "36%",
+                  f"{100 * lt.delete_same_process / lt.delete_total_matched:.0f}%")
+    print_row("non-temporary deletes (wasted writes)", "25-35%",
+              f"{lt.could_have_used_temporary_pct():.0f}%")
+    # Figure 7: the scatter sample plus its (absent) correlation.
+    sizes, lifetimes = lt.size_lifetime_sample()
+    rho = lt.size_lifetime_correlation()
+    print_row("size-lifetime rank correlation", "~0 (none)", f"{rho:.2f}")
+    small = sizes[sizes > 0]
+    if small.size:
+        print_row("deleted files < 100 bytes", "65%",
+                  f"{100 * np.mean(sizes < 100):.0f}%")
+        print_row("deleted files > 40 KB", "4%",
+                  f"{100 * np.mean(sizes > 40 * 1024):.0f}%")
+
+    # Shape assertions.
+    assert shares["explicit"] + shares["overwrite"] > 80
+    assert shares["temporary"] < 15
+    assert lt.fraction_deleted_within(60.0) > \
+        lt.fraction_deleted_within(0.001)
+    if not np.isnan(rho):
+        assert abs(rho) < 0.6, "no meaningful size-lifetime correlation"

@@ -1,0 +1,64 @@
+"""Figures 11 and 12 — open interarrival and session lifetime CDFs.
+
+Paper marks: 40% of open requests arrive within 1 ms of the previous one
+and 90% within 30 ms (fig 11); 40% of sessions close within 1 ms, 90%
+within 1 s, and control-only sessions are the fastest (fig 12).
+"""
+
+import numpy as np
+
+from repro.analysis.opens import analyze_opens
+from repro.common.clock import TICKS_PER_MILLISECOND, TICKS_PER_SECOND
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_fig11_12_sessions(benchmark, warehouse):
+    opens = benchmark(analyze_opens, warehouse)
+    print_header("Figures 11-12 / §8.1: opens and session lifetimes")
+    ms = TICKS_PER_MILLISECOND
+
+    ia = opens.interarrival_all
+    print_row("open interarrival < 1 ms", "40%",
+              f"{100 * np.mean(ia <= 1 * ms):.0f}%")
+    print_row("open interarrival < 30 ms", "90%",
+              f"{100 * np.mean(ia <= 30 * ms):.0f}%")
+    for purpose in ("data", "control"):
+        x, p = opens.interarrival_cdf(purpose)
+        marks = [1, 10, 100, 1000]
+        series = []
+        for m in marks:
+            idx = np.searchsorted(x, m, side="right") - 1
+            series.append(f"{100 * p[idx]:.0f}" if idx >= 0 else "0")
+        print(f"  fig11 {purpose} interarrival CDF @ {marks} ms: {series}")
+
+    print_row("sessions < 1 ms", "40%",
+              f"{100 * opens.fraction_sessions_shorter_than(1.0):.0f}%")
+    print_row("sessions < 1 s", "90%",
+              f"{100 * opens.fraction_sessions_shorter_than(1000.0):.0f}%")
+    print_row("control sessions < 10 ms", "90%",
+              f"{100 * opens.fraction_sessions_shorter_than(10.0, 'control'):.0f}%")
+    print_row("control open share", "74%",
+              f"{opens.control_open_share_pct:.0f}%")
+    print_row("1s intervals carrying open requests", "<= 24%",
+              f"{opens.active_open_interval_pct:.0f}%"
+              " (denser: no idle hours simulated)")
+    print_row("read-only files reopened", "24-40%",
+              f"{opens.read_only_reopened_pct:.0f}%")
+    print_row("write-only files later read", "36-52%",
+              f"{opens.write_then_read_pct:.0f}%")
+    gaps_clean = opens.close_gap_clean
+    gaps_written = opens.close_gap_written
+    if gaps_clean.size:
+        print_row("cleanup-to-close gap, clean files", "4-10 us",
+                  f"median {np.median(gaps_clean) / 10:.1f} us")
+    if gaps_written.size:
+        print_row("cleanup-to-close gap, written files", "1-4 s",
+                  f"median {np.median(gaps_written) / TICKS_PER_SECOND:.2f} s")
+
+    # Shape assertions.
+    assert opens.fraction_sessions_shorter_than(1000.0) > 0.8
+    assert opens.fraction_sessions_shorter_than(10.0, "control") > \
+        opens.fraction_sessions_shorter_than(10.0, "data") - 0.2
+    if gaps_clean.size and gaps_written.size:
+        assert np.median(gaps_written) > 100 * np.median(gaps_clean)

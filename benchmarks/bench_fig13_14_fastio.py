@@ -1,0 +1,42 @@
+"""Figures 13 and 14 / §10 — FastIO versus IRP: shares, latency CDFs,
+request size CDFs.
+
+Paper marks: FastIO serves 59% of reads and 96% of writes; FastIO
+completions sit in the 1-100 us band while IRP completions stretch into
+disk time; FastIO requests tend smaller.
+"""
+
+import numpy as np
+
+from repro.analysis.fastio import REQUEST_TYPES, analyze_fastio
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_fig13_14_fastio(benchmark, warehouse):
+    fio = benchmark(analyze_fastio, warehouse)
+    print_header("Figures 13-14 / §10: FastIO vs IRP")
+    print_row("reads via FastIO", "59%",
+              f"{fio.fastio_read_share_pct:.0f}%")
+    print_row("writes via FastIO", "96%",
+              f"{fio.fastio_write_share_pct:.0f}%")
+    for rt in REQUEST_TYPES:
+        lat = fio.latencies_micros[rt]
+        sizes = fio.sizes[rt]
+        if lat.size == 0:
+            continue
+        print_row(f"{rt} latency median/p90",
+                  "fastio ~us, irp ~100us+",
+                  f"{np.median(lat):.1f} / {np.percentile(lat, 90):.0f} us")
+        print_row(f"{rt} size median", "fastio smaller",
+                  f"{np.median(sizes):.0f} B")
+
+    # Figure 13's shape: FastIO completion latency is well below the IRP
+    # path at the median.
+    assert fio.median_latency("fastio-read") < fio.median_latency("irp-read")
+    assert fio.median_latency("fastio-write") < \
+        fio.median_latency("irp-write")
+    # §10's headline shares, loosely banded.
+    assert fio.fastio_write_share_pct > fio.fastio_read_share_pct
+    assert 30 < fio.fastio_read_share_pct < 95
+    assert fio.fastio_write_share_pct > 60

@@ -1,0 +1,52 @@
+"""§4 / §8.1 — the OLAP drill-downs: per-process and per-file-type cubes.
+
+The paper's per-process observations: explorer is control-dominated;
+editors (FrontPage-style) never keep files open longer than milliseconds;
+services/loadwc-style processes keep files open for the whole session.
+The type cube reproduces the "mailbox -> mail files -> application files"
+categorisation axis.
+"""
+
+import numpy as np
+
+from repro.analysis.drilldown import (
+    by_file_type,
+    by_process,
+    format_process_table,
+    format_type_table,
+)
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_sec4_drilldown(benchmark, warehouse):
+    profiles = benchmark(by_process, warehouse)
+    types = by_file_type(warehouse)
+    print_header("Section 4/8.1: per-process and per-type drill-downs")
+    print(format_process_table(profiles))
+    print()
+    print(format_type_table(types))
+
+    explorer = profiles.get("explorer.exe")
+    if explorer is not None:
+        print_row("explorer control share", "dominant",
+                  f"{explorer.control_share_pct:.0f}%")
+        assert explorer.control_share_pct > 50
+    notepad = profiles.get("notepad.exe")
+    services = profiles.get("services.exe")
+    if notepad is not None and services is not None \
+            and notepad.session_durations and services.session_durations:
+        print_row("notepad median session", "milliseconds",
+                  f"{notepad.median_session_ms:.1f} ms")
+        print_row("services long-held sessions", "40-50% of its files",
+                  f"{services.long_hold_share_pct:.0f}%")
+        # The FrontPage-vs-loadwc contrast: editors close fast, services
+        # hold for the whole session.
+        assert services.long_hold_share_pct > notepad.long_hold_share_pct
+
+    # Type cube: executables/system files should not dominate *data*
+    # bytes (applications move the data), but mail/dev categories should
+    # be visible.
+    assert "executables" in types
+    assert any(cat in types for cat in ("mail files", "web files",
+                                        "documents"))

@@ -1,0 +1,34 @@
+"""§5 — file-system content: counts, fullness, type domination, churn."""
+
+import numpy as np
+
+from repro.analysis.content import analyze_content
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_sec5_content(benchmark, warehouse):
+    content = benchmark(analyze_content, warehouse)
+    print_header("Section 5: file-system content and churn")
+    local = [v for v in content.volumes if v.volume_label.endswith("-C")]
+    counts = [v.n_files for v in local]
+    if counts:
+        print_row("files per local volume (scaled)",
+                  "24k-45k at full scale",
+                  f"{min(counts)}-{max(counts)}")
+    exec_shares = [v.executable_byte_share_pct for v in content.volumes
+                   if not np.isnan(v.executable_byte_share_pct)]
+    print_row("exe/dll/font share of bytes", "dominant",
+              f"{np.mean(exec_shares):.0f}%")
+    print_row("changes inside the profile tree", "87-99% of user files",
+              f"{content.mean_profile_share_pct():.0f}%")
+    print_row("profile changes inside the WWW cache", "up to 90%",
+              f"{content.mean_web_cache_share_pct():.0f}%")
+    changed = [c.n_changed_or_added for c in content.churn]
+    if changed:
+        print_row("files changed per machine (scaled)", "300-500/day",
+                  f"{min(changed)}-{max(changed)}")
+
+    # Shape assertions.
+    assert content.mean_profile_share_pct() > 50
+    assert np.mean(exec_shares) > 30

@@ -1,0 +1,51 @@
+"""§8 — operational characteristics: errors, control-op mix, request
+sizes and follow-up spacing."""
+
+import numpy as np
+
+from repro.analysis.opens import analyze_opens
+from repro.nt.tracing.records import TraceEventKind
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_sec8_operational(benchmark, warehouse):
+    opens = benchmark(analyze_opens, warehouse)
+    print_header("Section 8: operational characteristics")
+    print_row("open requests that fail", "12%",
+              f"{opens.open_failure_pct:.1f}%")
+    print_row("  of which: not found", "52%",
+              f"{opens.failure_not_found_pct:.0f}%")
+    print_row("  of which: already existed", "31%",
+              f"{opens.failure_collision_pct:.0f}%")
+    print_row("read requests that fail (EOF)", "0.2%",
+              f"{opens.read_failure_pct:.2f}%")
+    print_row("write requests that fail", "0%",
+              f"{opens.write_failure_pct:.2f}%")
+
+    # Request-size preferences (§8.2).
+    wh = warehouse
+    read_sizes = wh.length[wh.mask_reads & ~wh.mask_paging]
+    popular = np.isin(read_sizes, (512, 4096)).mean() if read_sizes.size \
+        else float("nan")
+    print_row("reads of exactly 512 or 4096 bytes", "59%",
+              f"{100 * popular:.0f}%")
+    if opens.read_followup_gaps.size:
+        print_row("median read follow-up gap", "<90 us",
+                  f"{np.median(opens.read_followup_gaps) / 10:.0f} us")
+    if opens.write_followup_gaps.size:
+        print_row("median write follow-up gap", "<30 us",
+                  f"{np.median(opens.write_followup_gaps) / 10:.0f} us")
+
+    # Volume-mounted chatter (§8.3).
+    fsctl = wh.mask_kind(TraceEventKind.IRP_FSCTL_USER_REQUEST)
+    span_seconds = (wh.t_start.max() - wh.t_start.min()) / 1e7
+    rate = fsctl.sum() / max(span_seconds, 1e-9) / len(wh.machine_names)
+    print_row("volume-mounted FSCTLs per machine-second", "up to 40/s",
+              f"{rate:.1f}/s")
+
+    # Shape assertions.
+    assert opens.failure_not_found_pct > opens.failure_collision_pct
+    assert opens.read_failure_pct < 5.0
+    assert opens.write_failure_pct == 0.0
+    assert popular > 0.3

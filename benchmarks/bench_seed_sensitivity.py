@@ -1,0 +1,46 @@
+"""Cross-seed sensitivity: the -/+ range columns, revisited.
+
+§7's central methodological point is that the ranges across traces are
+the truly important numbers.  This bench runs the same workload model
+under three seeds and reports the spread of the headline metrics — the
+reproduction's own error bars.
+"""
+
+import numpy as np
+
+from repro.analysis.compare import _metric_vector, compare_warehouses
+
+from benchmarks.conftest import print_header, print_row, run_mini_study
+
+
+def _vectors():
+    vectors = []
+    warehouses = []
+    for seed in (301, 302, 303):
+        _result, wh = run_mini_study(seed=seed, n_machines=2, seconds=45,
+                                     scale=0.08)
+        vectors.append(_metric_vector(wh))
+        warehouses.append(wh)
+    return vectors, warehouses
+
+
+def test_seed_sensitivity(benchmark):
+    vectors, warehouses = benchmark.pedantic(_vectors, rounds=1,
+                                             iterations=1)
+    print_header("Cross-seed sensitivity (3 seeds, same workload model)")
+    keys = vectors[0].keys()
+    for key in keys:
+        values = [v[key] for v in vectors if np.isfinite(v[key])]
+        if not values:
+            continue
+        spread = max(values) - min(values)
+        print_row(key, "stable shape",
+                  f"{np.mean(values):.1f} +/- {spread / 2:.1f} "
+                  f"[{min(values):.1f}-{max(values):.1f}]")
+        # Same model, different randomness: headline metrics stay within
+        # a broad but bounded band.
+        assert spread < 50
+    comparison = compare_warehouses(warehouses[0], warehouses[1])
+    print_row("KS(interarrival) across seeds", "small",
+              f"{comparison.interarrival_ks:.3f}")
+    assert comparison.interarrival_ks < 0.6

@@ -1,0 +1,60 @@
+"""Table 2 — user activity at 10-minute and 10-second intervals.
+
+The simulated study is minutes long, so the "10-minute" steady-state
+interval collapses to the study duration; the 10-second burst interval is
+computed exactly as in the paper.  Sprite/BSD historical values are
+printed alongside.
+"""
+
+from repro.analysis.activity import (
+    BSD_TABLE2,
+    PAPER_NT_TABLE2,
+    SPRITE_TABLE2,
+    user_activity_table,
+)
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_table2_user_activity(benchmark, study, warehouse):
+    table = benchmark(user_activity_table, warehouse,
+                      study.duration_ticks)
+    print_header("Table 2: user activity")
+    for label, row, key in (("10-minute (steady state)", table.ten_minute,
+                             "10min"),
+                            ("10-second (bursts)", table.ten_second,
+                             "10sec")):
+        print(f"\n{label} intervals "
+              f"[paper NT / Sprite / BSD for reference]:")
+        print_row(
+            "max active users",
+            f"{PAPER_NT_TABLE2.get((key, 'max_active'), '-')}"
+            f" / {SPRITE_TABLE2.get((key, 'max_active'), '-')}"
+            f" / {BSD_TABLE2.get((key, 'max_active'), '-')}",
+            f"{row.max_active_users}")
+        print_row(
+            "avg active users",
+            f"{PAPER_NT_TABLE2.get((key, 'avg_active'), '-')}"
+            f" / {SPRITE_TABLE2.get((key, 'avg_active'), '-')}"
+            f" / {BSD_TABLE2.get((key, 'avg_active'), '-')}",
+            f"{row.avg_active_users:.1f} ({row.std_active_users:.1f})")
+        print_row(
+            "avg throughput KB/s",
+            f"{PAPER_NT_TABLE2.get((key, 'avg_throughput'), '-')}"
+            f" / {SPRITE_TABLE2.get((key, 'avg_throughput'), '-')}"
+            f" / {BSD_TABLE2.get((key, 'avg_throughput'), '-')}",
+            f"{row.avg_throughput_kbs:.1f} ({row.std_throughput_kbs:.1f})")
+        print_row(
+            "peak user KB/s",
+            f"{PAPER_NT_TABLE2.get((key, 'peak_user'), '-')}"
+            f" / {SPRITE_TABLE2.get((key, 'peak_user'), '-')} / -",
+            f"{row.peak_user_throughput_kbs:.0f}")
+        print_row(
+            "peak system KB/s",
+            f"{PAPER_NT_TABLE2.get((key, 'peak_system'), '-')}"
+            f" / {SPRITE_TABLE2.get((key, 'peak_system'), '-')} / -",
+            f"{row.peak_system_throughput_kbs:.0f}")
+    # The shape claim: 10-second burst throughput exceeds the steady-state
+    # average (the paper's burstiness headline).
+    assert table.ten_second.peak_user_throughput_kbs > \
+        table.ten_minute.avg_throughput_kbs

@@ -1,0 +1,47 @@
+"""Table 3 — access patterns (usage class x transfer pattern)."""
+
+from repro.analysis.patterns import (
+    PAPER_NT_TABLE3,
+    PATTERNS,
+    SPRITE_TABLE3,
+    USAGES,
+    access_pattern_table,
+)
+
+from benchmarks.conftest import print_header, print_row
+
+
+def test_table3_access_patterns(benchmark, warehouse):
+    table = benchmark(access_pattern_table, warehouse)
+    print_header("Table 3: access patterns (accesses% / bytes%)")
+    for usage in USAGES:
+        share = table.cell(usage, "usage")
+        paper = PAPER_NT_TABLE3[(usage, "usage")]
+        sprite = SPRITE_TABLE3[(usage, "usage")]
+        print_row(
+            f"{usage} share",
+            f"NT {paper[0]:.0f}/{paper[1]:.0f} "
+            f"S {sprite[0]:.0f}/{sprite[1]:.0f}",
+            f"{share.accesses_mean:.0f}/{share.bytes_mean:.0f} "
+            f"[{share.accesses_min:.0f}-{share.accesses_max:.0f}]")
+        for pattern in PATTERNS:
+            cell = table.cell(usage, pattern)
+            paper = PAPER_NT_TABLE3[(usage, pattern)]
+            sprite = SPRITE_TABLE3[(usage, pattern)]
+            print_row(
+                f"  {pattern}",
+                f"NT {paper[0]:.0f}/{paper[1]:.0f} "
+                f"S {sprite[0]:.0f}/{sprite[1]:.0f}",
+                f"{cell.accesses_mean:.0f}/{cell.bytes_mean:.0f} "
+                f"[{cell.accesses_min:.0f}-{cell.accesses_max:.0f}]")
+
+    # Shape assertions: the orderings the paper reports.
+    ro = table.cell("read-only", "usage").accesses_mean
+    rw = table.cell("read-write", "usage").accesses_mean
+    assert ro > rw, "read-only accesses dominate read-write"
+    assert table.cell("read-write", "random").accesses_mean > \
+        table.cell("read-write", "whole").accesses_mean, \
+        "read-write access is overwhelmingly random"
+    assert table.cell("read-only", "whole").accesses_mean > \
+        table.cell("read-only", "random").accesses_mean, \
+        "read-only access is mostly whole-file sequential"

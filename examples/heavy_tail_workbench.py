@@ -1,0 +1,74 @@
+"""The §7 methodology as a workbench: heavy-tail diagnostics on traced and
+synthetic data.
+
+Demonstrates the statistics toolbox on three samples — a pure Pareto, an
+exponential, and a real traced variable (open interarrivals from a small
+study) — showing how the Hill estimator, the LLCD tail fit, QQ
+correlations, and the multi-timescale Poisson comparison separate
+heavy-tailed from light-tailed behaviour.
+
+Run:  python examples/heavy_tail_workbench.py
+"""
+
+import numpy as np
+
+from repro import StudyConfig, TraceWarehouse, run_study
+from repro.analysis.opens import analyze_opens
+from repro.stats.distributions import Exponential, Pareto
+from repro.stats.heavy_tail import fit_tail_index, hill_estimator
+from repro.stats.poisson import burstiness_profile
+from repro.stats.qq import qq_correlation, qq_normal, qq_pareto
+
+
+def diagnose(name: str, sample: np.ndarray) -> None:
+    sample = np.asarray(sample, dtype=float)
+    sample = sample[sample > 0]
+    fit = fit_tail_index(sample)
+    hill = hill_estimator(sample, k=max(10, sample.size // 10))
+    obs_n, th_n = qq_normal(sample)
+    obs_p, th_p = qq_pareto(sample)
+    corr_n = qq_correlation(obs_n, th_n)
+    corr_p = qq_correlation(obs_p, th_p)
+    verdict = "HEAVY (infinite variance)" if fit.infinite_variance \
+        else "light"
+    print(f"  {name:<28} n={sample.size:<7} llcd-alpha={fit.alpha:5.2f} "
+          f"hill={hill:5.2f} qqN={corr_n:.3f} qqP={corr_p:.3f} -> {verdict}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+
+    print("synthetic references:")
+    diagnose("pareto(alpha=1.3)", Pareto(1.3, 1.0).sample_many(rng, 30_000))
+    diagnose("pareto(alpha=1.7)", Pareto(1.7, 1.0).sample_many(rng, 30_000))
+    diagnose("exponential(mean=10)", Exponential(10.0).sample_many(rng,
+                                                                   30_000))
+
+    print("\ntraced variables (2-machine study):")
+    result = run_study(StudyConfig(n_machines=2, duration_seconds=90,
+                                   seed=23, content_scale=0.1))
+    warehouse = TraceWarehouse.from_study(result)
+    opens = analyze_opens(warehouse)
+    diagnose("open interarrivals", opens.interarrival_all)
+    diagnose("session holding times",
+             opens.session_all[opens.session_all > 0])
+    bytes_per = np.asarray([s.bytes_transferred for s in warehouse.instances
+                            if s.bytes_transferred > 0], dtype=float)
+    diagnose("bytes per session", bytes_per)
+
+    print("\nfigure-8 style burstiness (open arrivals vs Poisson):")
+    from repro.nt.tracing.records import TraceEventKind
+    mask = warehouse.mask_kind(TraceEventKind.IRP_CREATE)
+    arrivals = np.sort(warehouse.t_start[mask].astype(float)) / 1e7
+    profile = burstiness_profile(arrivals, intervals=(1.0, 10.0), rng=rng)
+    for interval, t, p in zip(profile.intervals, profile.trace_iod,
+                              profile.poisson_iod):
+        print(f"  index of dispersion @ {interval:.0f}s: trace {t:7.1f} "
+              f"vs poisson {p:5.1f}")
+    print("\n(a Poisson process has IoD ~ 1 at every scale; the trace's"
+          "\n dispersion grows with the aggregation interval — the"
+          "\n self-similarity signature of figure 8)")
+
+
+if __name__ == "__main__":
+    main()

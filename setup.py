@@ -1,0 +1,14 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable
+installs (``pip install -e .`` needs the ``wheel`` package on old
+toolchains; ``python setup.py develop`` works without it)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,164 @@
+"""User activity (§6.1): table 2.
+
+The tracing period is divided into 10-minute and 10-second intervals; a
+user (one per machine in this study, as in the paper's single-user
+systems) is *active* in an interval when their file-system activity
+exceeds the background threshold.  Throughput is bytes transferred per
+second for active user-intervals.  Historical Sprite/BSD values from the
+paper's table are embedded for comparison output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.clock import TICKS_PER_SECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+# Background file-system activity threshold (events per interval) above
+# which a user counts as active (§6.1 used system-service noise as the
+# threshold).
+ACTIVITY_EVENT_THRESHOLD = 5
+
+# Historical comparison values from table 2 (throughputs in KB/s).
+SPRITE_TABLE2 = {
+    ("10min", "max_active"): 27.0,
+    ("10min", "avg_active"): 9.1,
+    ("10min", "avg_throughput"): 8.0,
+    ("10min", "peak_user"): 458.0,
+    ("10min", "peak_system"): 681.0,
+    ("10sec", "max_active"): 12.0,
+    ("10sec", "avg_active"): 1.6,
+    ("10sec", "avg_throughput"): 47.0,
+    ("10sec", "peak_user"): 9871.0,
+    ("10sec", "peak_system"): 9977.0,
+}
+BSD_TABLE2 = {
+    ("10min", "max_active"): 31.0,
+    ("10min", "avg_active"): 12.6,
+    ("10min", "avg_throughput"): 0.40,
+    ("10sec", "avg_active"): 2.5,
+    ("10sec", "avg_throughput"): 1.5,
+}
+PAPER_NT_TABLE2 = {
+    ("10min", "max_active"): 45.0,
+    ("10min", "avg_active"): 28.9,
+    ("10min", "avg_throughput"): 24.4,
+    ("10min", "peak_user"): 814.0,
+    ("10min", "peak_system"): 814.0,
+    ("10sec", "max_active"): 45.0,
+    ("10sec", "avg_active"): 6.3,
+    ("10sec", "avg_throughput"): 42.5,
+    ("10sec", "peak_user"): 8910.0,
+    ("10sec", "peak_system"): 8910.0,
+}
+
+
+@dataclass(frozen=True)
+class IntervalActivity:
+    """Table-2 rows for one aggregation interval size."""
+
+    interval_seconds: float
+    max_active_users: int
+    avg_active_users: float
+    std_active_users: float
+    avg_throughput_kbs: float
+    std_throughput_kbs: float
+    peak_user_throughput_kbs: float
+    peak_system_throughput_kbs: float
+
+
+@dataclass
+class UserActivityTable:
+    """Table 2: activity at both aggregation scales."""
+
+    ten_minute: IntervalActivity
+    ten_second: IntervalActivity
+    n_users: int
+
+    def format(self) -> str:
+        lines = []
+        for label, row in (("10-minute", self.ten_minute),
+                           ("10-second", self.ten_second)):
+            lines.append(f"{label} intervals:")
+            lines.append(f"  max active users        {row.max_active_users}")
+            lines.append(f"  avg active users        {row.avg_active_users:.1f}"
+                         f" ({row.std_active_users:.1f})")
+            lines.append(f"  avg user throughput     {row.avg_throughput_kbs:.1f}"
+                         f" KB/s ({row.std_throughput_kbs:.1f})")
+            lines.append(f"  peak user throughput    "
+                         f"{row.peak_user_throughput_kbs:.0f} KB/s")
+            lines.append(f"  peak system throughput  "
+                         f"{row.peak_system_throughput_kbs:.0f} KB/s")
+        return "\n".join(lines)
+
+
+def _interval_stats(event_times: list[np.ndarray],
+                    event_bytes: list[np.ndarray],
+                    duration_ticks: int,
+                    interval_seconds: float) -> IntervalActivity:
+    interval_ticks = int(interval_seconds * TICKS_PER_SECOND)
+    n_bins = max(1, int(np.ceil(duration_ticks / interval_ticks)))
+    edges = np.arange(n_bins + 1) * interval_ticks
+    active_matrix = np.zeros((len(event_times), n_bins), dtype=bool)
+    bytes_matrix = np.zeros((len(event_times), n_bins))
+    for u, (times, sizes) in enumerate(zip(event_times, event_bytes)):
+        if times.size == 0:
+            continue
+        counts, _ = np.histogram(times, bins=edges)
+        summed, _ = np.histogram(times, bins=edges, weights=sizes)
+        active_matrix[u] = counts > ACTIVITY_EVENT_THRESHOLD
+        bytes_matrix[u] = summed
+    active_per_bin = active_matrix.sum(axis=0)
+    throughput = bytes_matrix[active_matrix] / 1024.0 / interval_seconds
+    system_tp = bytes_matrix.sum(axis=0) / 1024.0 / interval_seconds
+    return IntervalActivity(
+        interval_seconds=interval_seconds,
+        max_active_users=int(active_per_bin.max(initial=0)),
+        avg_active_users=float(active_per_bin.mean()) if n_bins else 0.0,
+        std_active_users=float(active_per_bin.std()) if n_bins else 0.0,
+        avg_throughput_kbs=float(throughput.mean()) if throughput.size else 0.0,
+        std_throughput_kbs=float(throughput.std()) if throughput.size else 0.0,
+        peak_user_throughput_kbs=float(bytes_matrix.max(initial=0))
+        / 1024.0 / interval_seconds,
+        peak_system_throughput_kbs=float(system_tp.max(initial=0)))
+
+
+def user_activity_table(wh: "TraceWarehouse",
+                        duration_ticks: int | None = None,
+                        ten_minute_seconds: float = 600.0,
+                        ten_second_seconds: float = 10.0
+                        ) -> UserActivityTable:
+    """Compute table 2 from the instance table's data operations.
+
+    For short simulated studies the "10-minute" interval shrinks to the
+    study duration (the paper's steady-state window), which callers can
+    override via ``ten_minute_seconds``.
+    """
+    n_machines = len(wh.machine_names)
+    times: list[list[int]] = [[] for _ in range(n_machines)]
+    sizes: list[list[int]] = [[] for _ in range(n_machines)]
+    max_t = 0
+    for inst in wh.instances:
+        m = inst.machine_idx
+        for op in inst.ops:
+            times[m].append(op.t)
+            sizes[m].append(op.returned)
+            if op.t > max_t:
+                max_t = op.t
+    if duration_ticks is None:
+        duration_ticks = max_t + 1
+    t_arrays = [np.asarray(t, dtype=float) for t in times]
+    b_arrays = [np.asarray(b, dtype=float) for b in sizes]
+    return UserActivityTable(
+        ten_minute=_interval_stats(t_arrays, b_arrays, duration_ticks,
+                                   min(ten_minute_seconds,
+                                       duration_ticks / TICKS_PER_SECOND)),
+        ten_second=_interval_stats(t_arrays, b_arrays, duration_ticks,
+                                   ten_second_seconds),
+        n_users=n_machines)

@@ -1,0 +1,105 @@
+"""Per-usage-category comparison (§2, §6.1).
+
+The paper samples five usage categories and repeatedly contrasts them:
+scientific machines touch files an order of magnitude larger but do not
+produce the peak loads (they read small portions of their huge files
+through mapped views); the development stations produce the peak loads
+with their 5–8 MB build-state files; walk-up and personal machines are
+dominated by interactive application churn.  This module provides that
+cut over the instance table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.clock import TICKS_PER_SECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+
+@dataclass
+class CategoryProfile:
+    """One usage category's aggregate behaviour."""
+
+    category: str
+    n_machines: int = 0
+    n_opens: int = 0
+    n_data_opens: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    file_sizes: list = field(default_factory=list)
+    paging_view_bytes: int = 0   # mapped-view / image paging data
+    span_ticks: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def throughput_kbs(self) -> float:
+        """Mean per-machine throughput in KB/s."""
+        if self.span_ticks <= 0 or self.n_machines == 0:
+            return float("nan")
+        seconds = self.span_ticks / TICKS_PER_SECOND
+        return self.bytes_total / 1024.0 / seconds / self.n_machines
+
+    @property
+    def median_file_size(self) -> float:
+        if not self.file_sizes:
+            return float("nan")
+        return float(np.median(self.file_sizes))
+
+    @property
+    def p90_file_size(self) -> float:
+        if not self.file_sizes:
+            return float("nan")
+        return float(np.percentile(self.file_sizes, 90))
+
+
+def by_category(wh: "TraceWarehouse",
+                duration_ticks: int | None = None
+                ) -> dict[str, CategoryProfile]:
+    """Aggregate the instance table by machine usage category."""
+    categories: dict[int, str] = {}
+    for idx, name in enumerate(wh.machine_names):
+        categories[idx] = wh.machine_categories.get(name, "unknown")
+    if duration_ticks is None:
+        duration_ticks = int(wh.t_end.max()) if wh.n_records else 0
+    profiles: dict[str, CategoryProfile] = {}
+    machine_counts: dict[str, set] = {}
+    for inst in wh.instances:
+        category = categories.get(inst.machine_idx, "unknown")
+        profile = profiles.setdefault(category, CategoryProfile(category))
+        machine_counts.setdefault(category, set()).add(inst.machine_idx)
+        profile.n_opens += 1
+        if inst.open_failed:
+            continue
+        if inst.has_data:
+            profile.n_data_opens += 1
+            profile.bytes_read += inst.bytes_read
+            profile.bytes_written += inst.bytes_written
+            profile.file_sizes.append(float(inst.file_size_max))
+            if inst.image_access:
+                profile.paging_view_bytes += inst.bytes_read
+    for category, profile in profiles.items():
+        profile.n_machines = len(machine_counts.get(category, set()))
+        profile.span_ticks = duration_ticks
+    return profiles
+
+
+def format_category_table(profiles: dict[str, CategoryProfile]) -> str:
+    """Render the per-category comparison."""
+    lines = ["%-16s %8s %8s %10s %12s %12s %12s" % (
+        "category", "machines", "opens", "KB/s", "median size",
+        "p90 size", "view bytes")]
+    for p in sorted(profiles.values(), key=lambda p: p.category):
+        lines.append(
+            f"{p.category:<16} {p.n_machines:8d} {p.n_opens:8d} "
+            f"{p.throughput_kbs:10.1f} {p.median_file_size:12.0f} "
+            f"{p.p90_file_size:12.0f} {p.paging_view_bytes:12d}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Warehouse comparison: quantify how similar two traces are.
+
+Used to validate the §7-point-3 loop (a fitted synthetic benchmark should
+score close to its source trace) and for cross-seed regression: two runs
+of the same workload should be statistically close even though their
+event streams differ.
+
+The score compares the metric vector below with per-metric relative
+differences; ``ks_distance`` compares a full distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+
+def ks_distance(a, b) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (0 identical, 1 disjoint)."""
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        return float("nan")
+    values = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, values, side="right") / a.size
+    cdf_b = np.searchsorted(b, values, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def _metric_vector(wh: "TraceWarehouse") -> dict[str, float]:
+    from repro.analysis.fastio import analyze_fastio
+    from repro.analysis.opens import analyze_opens
+    from repro.analysis.patterns import access_pattern_table
+
+    opens = analyze_opens(wh)
+    fastio = analyze_fastio(wh)
+    patterns = access_pattern_table(wh)
+    metrics = {
+        "control_share_pct": opens.control_open_share_pct,
+        "open_failure_pct": opens.open_failure_pct,
+        "fastio_read_share_pct": fastio.fastio_read_share_pct,
+        "fastio_write_share_pct": fastio.fastio_write_share_pct,
+        "sessions_under_1ms_pct":
+            100.0 * opens.fraction_sessions_shorter_than(1.0),
+        "ro_share_pct": patterns.cell("read-only", "usage").accesses_mean,
+        "wo_share_pct": patterns.cell("write-only", "usage").accesses_mean,
+    }
+    return metrics
+
+
+@dataclass
+class TraceComparison:
+    """Outcome of comparing two warehouses."""
+
+    metrics_a: dict[str, float]
+    metrics_b: dict[str, float]
+    # Distribution distances (KS statistics).
+    interarrival_ks: float = float("nan")
+    session_duration_ks: float = float("nan")
+    read_size_ks: float = float("nan")
+
+    def metric_gaps(self) -> dict[str, float]:
+        """Absolute percentage-point gap per metric (NaN-safe)."""
+        gaps = {}
+        for key in self.metrics_a:
+            a, b = self.metrics_a[key], self.metrics_b.get(key, float("nan"))
+            gaps[key] = abs(a - b) if np.isfinite(a) and np.isfinite(b) \
+                else float("nan")
+        return gaps
+
+    def max_metric_gap(self) -> float:
+        gaps = [g for g in self.metric_gaps().values() if np.isfinite(g)]
+        return max(gaps) if gaps else float("nan")
+
+    def format(self) -> str:
+        lines = ["%-26s %10s %10s %8s" % ("metric", "A", "B", "gap")]
+        for key, gap in self.metric_gaps().items():
+            lines.append(f"{key:<26} {self.metrics_a[key]:10.1f} "
+                         f"{self.metrics_b.get(key, float('nan')):10.1f} "
+                         f"{gap:8.1f}")
+        lines.append(f"KS(interarrival)={self.interarrival_ks:.3f}  "
+                     f"KS(session)={self.session_duration_ks:.3f}  "
+                     f"KS(read size)={self.read_size_ks:.3f}")
+        return "\n".join(lines)
+
+
+def compare_warehouses(a: "TraceWarehouse",
+                       b: "TraceWarehouse") -> TraceComparison:
+    """Compare two traces across headline metrics and distributions."""
+    from repro.analysis.opens import analyze_opens
+
+    opens_a = analyze_opens(a)
+    opens_b = analyze_opens(b)
+    result = TraceComparison(metrics_a=_metric_vector(a),
+                             metrics_b=_metric_vector(b))
+    result.interarrival_ks = ks_distance(opens_a.interarrival_all,
+                                         opens_b.interarrival_all)
+    result.session_duration_ks = ks_distance(opens_a.session_all,
+                                             opens_b.session_all)
+    reads_a = a.returned[a.mask_reads & a.mask_success]
+    reads_b = b.returned[b.mask_reads & b.mask_success]
+    result.read_size_ks = ks_distance(reads_a[reads_a > 0],
+                                      reads_b[reads_b > 0])
+    return result

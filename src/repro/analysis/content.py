@@ -1,0 +1,212 @@
+r"""File-system content analysis (§5): snapshots and churn.
+
+Per-volume file counts, fullness, the file-type composition of the size
+tail (executables / DLLs / fonts dominating local volumes), and the
+between-snapshot churn: what fraction of changed files lies in the profile
+tree, and of that, in the WWW cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.nt.tracing.snapshot import SnapshotRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+# The file types §5 says dominate local size distributions.
+EXECUTABLE_TYPES = frozenset({"exe", "dll", "ttf", "fon", "sys", "drv",
+                              "cpl"})
+
+
+@dataclass
+class VolumeContent:
+    """Summary of one volume snapshot."""
+
+    volume_label: str
+    when: int
+    n_files: int
+    n_directories: int
+    total_bytes: int
+    executable_bytes: int
+    max_depth: int
+    sizes: np.ndarray
+
+    @property
+    def executable_byte_share_pct(self) -> float:
+        if self.total_bytes == 0:
+            return float("nan")
+        return 100.0 * self.executable_bytes / self.total_bytes
+
+
+@dataclass
+class ChurnSummary:
+    """Changes between two snapshots of the same volume."""
+
+    volume_label: str
+    n_changed_or_added: int
+    n_in_profile: int
+    n_in_web_cache: int
+
+    @property
+    def profile_share_pct(self) -> float:
+        if self.n_changed_or_added == 0:
+            return float("nan")
+        return 100.0 * self.n_in_profile / self.n_changed_or_added
+
+    @property
+    def web_cache_share_of_profile_pct(self) -> float:
+        if self.n_in_profile == 0:
+            return float("nan")
+        return 100.0 * self.n_in_web_cache / self.n_in_profile
+
+
+@dataclass
+class TimestampReliability:
+    """§5's unreliable-timestamp findings."""
+
+    n_files_examined: int = 0
+    # last-write more recent than last-access (paper: 2-4% of cases).
+    inconsistent_pct: float = float("nan")
+    # Files added during the trace whose creation time predates the first
+    # snapshot — "files years old on file systems only days old".
+    backdated_creation_pct: float = float("nan")
+
+
+@dataclass
+class ContentAnalysis:
+    """The §5 measurements across all machines."""
+
+    volumes: list[VolumeContent] = field(default_factory=list)
+    churn: list[ChurnSummary] = field(default_factory=list)
+    # Per-consecutive-snapshot churn (the paper's daily pattern series,
+    # present when a study takes periodic snapshots).
+    churn_series: list[ChurnSummary] = field(default_factory=list)
+    timestamps: TimestampReliability = field(
+        default_factory=TimestampReliability)
+    # [18]'s functional lifetime: last-write to last-access spans (ticks)
+    # of files at the final snapshot, where access times are maintained.
+    functional_lifetimes: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+
+    def mean_profile_share_pct(self) -> float:
+        shares = [c.profile_share_pct for c in self.churn
+                  if not np.isnan(c.profile_share_pct)]
+        return float(np.mean(shares)) if shares else float("nan")
+
+    def mean_web_cache_share_pct(self) -> float:
+        shares = [c.web_cache_share_of_profile_pct for c in self.churn
+                  if not np.isnan(c.web_cache_share_of_profile_pct)]
+        return float(np.mean(shares)) if shares else float("nan")
+
+
+def _summarize_snapshot(label: str, when: int,
+                        records: list[SnapshotRecord]) -> VolumeContent:
+    files = [r for r in records if not r.is_directory]
+    dirs = [r for r in records if r.is_directory]
+    sizes = np.asarray([r.size for r in files], dtype=float)
+    total = int(sizes.sum()) if sizes.size else 0
+    executable = sum(r.size for r in files
+                     if r.extension in EXECUTABLE_TYPES)
+    return VolumeContent(
+        volume_label=label, when=when, n_files=len(files),
+        n_directories=len(dirs), total_bytes=total,
+        executable_bytes=int(executable),
+        max_depth=max((r.depth for r in records), default=0),
+        sizes=sizes)
+
+
+def _churn(label: str, before: list[SnapshotRecord],
+           after: list[SnapshotRecord]) -> ChurnSummary:
+    prior = {r.path.lower(): (r.size, r.last_write_time)
+             for r in before if not r.is_directory}
+    changed = 0
+    in_profile = 0
+    in_web = 0
+    for r in after:
+        if r.is_directory:
+            continue
+        key = r.path.lower()
+        old = prior.get(key)
+        if old is not None and old == (r.size, r.last_write_time):
+            continue
+        changed += 1
+        if "\\profiles\\" in key:
+            in_profile += 1
+            if "temporary internet files" in key:
+                in_web += 1
+    return ChurnSummary(volume_label=label, n_changed_or_added=changed,
+                        n_in_profile=in_profile, n_in_web_cache=in_web)
+
+
+def _timestamp_reliability(per_volume_snaps) -> TimestampReliability:
+    examined = 0
+    inconsistent = 0
+    added = 0
+    backdated = 0
+    for snaps in per_volume_snaps:
+        if len(snaps) < 2:
+            continue
+        first_t, before = snaps[0]
+        _last_t, after = snaps[-1]
+        prior_paths = {r.path.lower() for r in before if not r.is_directory}
+        for r in after:
+            if r.is_directory:
+                continue
+            # FAT volumes do not keep access times; skip them.
+            if r.last_access_time == 0:
+                continue
+            examined += 1
+            if r.last_write_time > r.last_access_time:
+                inconsistent += 1
+            if r.path.lower() not in prior_paths:
+                added += 1
+                if 0 < r.creation_time < first_t:
+                    backdated += 1
+    result = TimestampReliability(n_files_examined=examined)
+    if examined:
+        result.inconsistent_pct = 100.0 * inconsistent / examined
+    if added:
+        result.backdated_creation_pct = 100.0 * backdated / added
+    return result
+
+
+def analyze_content(wh: "TraceWarehouse") -> ContentAnalysis:
+    """Analyse every collector's snapshots."""
+    result = ContentAnalysis()
+    all_snaps = []
+    for collector in wh.collectors:
+        # Group snapshots per volume in time order.
+        per_volume: dict[str, list[tuple[int, list[SnapshotRecord]]]] = {}
+        for label, when, records in collector.snapshots:
+            per_volume.setdefault(label, []).append((when, records))
+        for label, snaps in per_volume.items():
+            snaps.sort(key=lambda pair: pair[0])
+            for when, records in snaps:
+                result.volumes.append(
+                    _summarize_snapshot(label, when, records))
+            if len(snaps) >= 2:
+                result.churn.append(
+                    _churn(label, snaps[0][1], snaps[-1][1]))
+                for (before_t, before), (after_t, after) in zip(
+                        snaps, snaps[1:]):
+                    result.churn_series.append(
+                        _churn(label, before, after))
+            all_snaps.append(snaps)
+    result.timestamps = _timestamp_reliability(all_snaps)
+    spans = []
+    for snaps in all_snaps:
+        if not snaps:
+            continue
+        _t, final = snaps[-1]
+        for r in final:
+            if r.is_directory or r.last_access_time == 0:
+                continue
+            if r.last_access_time >= r.last_write_time:
+                spans.append(r.last_access_time - r.last_write_time)
+    result.functional_lifetimes = np.asarray(spans, dtype=float)
+    return result

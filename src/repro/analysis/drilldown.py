@@ -1,0 +1,186 @@
+"""OLAP-style drill-downs: per-process and per-file-type cubes (§4).
+
+The paper's star schema put process and file-type category axes on the
+trace cube ("a mailbox file with a .mbx type is part of the mail files
+category, which is part of the application files category") and drilled
+into them — e.g. §8.1's per-process session-time observations (FrontPage
+never holds files open; loadwc holds them for the whole session).  These
+functions provide the same cuts over the instance table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.stats.descriptive import Summary, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+# Extension -> category, category -> parent group: the paper's two-level
+# categorisation.
+TYPE_CATEGORIES: dict[str, str] = {
+    "exe": "executables", "dll": "executables", "sys": "executables",
+    "drv": "executables", "cpl": "executables",
+    "ttf": "fonts", "fon": "fonts",
+    "mbx": "mail files", "pst": "mail files",
+    "htm": "web files", "gif": "web files", "jpg": "web files",
+    "css": "web files", "js": "web files",
+    "c": "source files", "h": "source files", "cpp": "source files",
+    "class": "source files", "jar": "source files",
+    "obj": "development databases", "lib": "development databases",
+    "pch": "development databases", "ilk": "development databases",
+    "pdb": "development databases",
+    "doc": "documents", "xls": "documents", "ppt": "documents",
+    "txt": "documents", "hlp": "documents",
+    "mdb": "databases", "dat": "databases", "log": "databases",
+    "tmp": "temporary files",
+    "ini": "configuration", "lnk": "configuration",
+    "bin": "datasets", "zip": "archives",
+}
+
+CATEGORY_GROUPS: dict[str, str] = {
+    "executables": "system files",
+    "fonts": "system files",
+    "configuration": "system files",
+    "mail files": "application files",
+    "web files": "application files",
+    "documents": "application files",
+    "databases": "application files",
+    "archives": "application files",
+    "source files": "development files",
+    "development databases": "development files",
+    "temporary files": "scratch files",
+    "datasets": "scientific files",
+    "other": "other",
+}
+
+
+def category_of(extension: str) -> str:
+    """File-type category of an extension (the dimension's leaf level)."""
+    return TYPE_CATEGORIES.get(extension.lower(), "other")
+
+
+def group_of(extension: str) -> str:
+    """Top-level group of an extension (the dimension's rollup level)."""
+    return CATEGORY_GROUPS.get(category_of(extension), "other")
+
+
+@dataclass
+class ProcessProfile:
+    """One process-name row of the per-process cube."""
+
+    name: str
+    n_opens: int = 0
+    n_failed_opens: int = 0
+    n_data_opens: int = 0
+    n_control_opens: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    session_durations: list = field(default_factory=list)
+    whole_session_holds: int = 0   # sessions spanning >10 s
+
+    @property
+    def control_share_pct(self) -> float:
+        total = self.n_data_opens + self.n_control_opens
+        return 100.0 * self.n_control_opens / total if total else float("nan")
+
+    def session_summary(self) -> Summary:
+        return summarize(self.session_durations)
+
+    @property
+    def median_session_ms(self) -> float:
+        if not self.session_durations:
+            return float("nan")
+        return float(np.median(self.session_durations)) / 1e4
+
+    @property
+    def long_hold_share_pct(self) -> float:
+        if not self.session_durations:
+            return float("nan")
+        return 100.0 * self.whole_session_holds / len(self.session_durations)
+
+
+def by_process(wh: "TraceWarehouse") -> dict[str, ProcessProfile]:
+    """Per-process-name profile of open behaviour (§8.1's cut)."""
+    profiles: dict[str, ProcessProfile] = {}
+    for inst in wh.instances:
+        profile = profiles.setdefault(inst.process_name,
+                                      ProcessProfile(inst.process_name))
+        profile.n_opens += 1
+        if inst.open_failed:
+            profile.n_failed_opens += 1
+            continue
+        if inst.has_data:
+            profile.n_data_opens += 1
+        else:
+            profile.n_control_opens += 1
+        profile.bytes_read += inst.bytes_read
+        profile.bytes_written += inst.bytes_written
+        duration = inst.session_duration
+        profile.session_durations.append(duration)
+        if duration > 10 * 10_000_000:  # > 10 s
+            profile.whole_session_holds += 1
+    return profiles
+
+
+@dataclass
+class TypeProfile:
+    """One file-type-category row of the cube."""
+
+    category: str
+    group: str
+    n_opens: int = 0
+    n_data_opens: int = 0
+    bytes_transferred: int = 0
+    file_sizes: list = field(default_factory=list)
+
+    def size_summary(self) -> Summary:
+        return summarize(self.file_sizes)
+
+
+def by_file_type(wh: "TraceWarehouse") -> dict[str, TypeProfile]:
+    """Per-file-type-category profile (the mailbox -> mail files axis)."""
+    profiles: dict[str, TypeProfile] = {}
+    for inst in wh.instances:
+        if inst.open_failed:
+            continue
+        category = category_of(inst.extension)
+        profile = profiles.setdefault(
+            category, TypeProfile(category, CATEGORY_GROUPS.get(category,
+                                                                "other")))
+        profile.n_opens += 1
+        if inst.has_data:
+            profile.n_data_opens += 1
+            profile.bytes_transferred += inst.bytes_transferred
+            profile.file_sizes.append(float(inst.file_size_max))
+    return profiles
+
+
+def format_process_table(profiles: dict[str, ProcessProfile],
+                         top: int = 12) -> str:
+    """Render the per-process cube, busiest first."""
+    rows = sorted(profiles.values(), key=lambda p: -p.n_opens)[:top]
+    lines = ["%-18s %7s %7s %8s %10s %12s %9s" % (
+        "process", "opens", "fail", "ctrl%", "median ms", "bytes", "long%")]
+    for p in rows:
+        lines.append(
+            f"{p.name:<18} {p.n_opens:7d} {p.n_failed_opens:7d} "
+            f"{p.control_share_pct:8.0f} {p.median_session_ms:10.2f} "
+            f"{p.bytes_read + p.bytes_written:12d} "
+            f"{p.long_hold_share_pct:9.1f}")
+    return "\n".join(lines)
+
+
+def format_type_table(profiles: dict[str, TypeProfile]) -> str:
+    """Render the per-file-type cube, most bytes first."""
+    rows = sorted(profiles.values(), key=lambda p: -p.bytes_transferred)
+    lines = ["%-22s %-18s %7s %8s %14s" % (
+        "category", "group", "opens", "data", "bytes")]
+    for p in rows:
+        lines.append(f"{p.category:<22} {p.group:<18} {p.n_opens:7d} "
+                     f"{p.n_data_opens:8d} {p.bytes_transferred:14d}")
+    return "\n".join(lines)

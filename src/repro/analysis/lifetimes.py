@@ -1,0 +1,217 @@
+"""New-file lifetimes (§6.3): figures 6 and 7.
+
+Files created during the trace are matched to their deaths by the paper's
+three deletion sources: (1) truncation-on-open of an existing file
+(overwrite), (2) an explicit delete-disposition control operation, and
+(3) the temporary-file attribute / delete-on-close option.  Lifetimes are
+create-to-death; the close-to-overwrite and close-to-delete gaps the
+paper quotes are computed too, as is the size-versus-lifetime sample
+behind figure 7's no-correlation finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.clock import TICKS_PER_SECOND
+from repro.stats.descriptive import cdf_points
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sessions import Instance
+    from repro.analysis.warehouse import TraceWarehouse
+
+
+@dataclass
+class LifetimeAnalysis:
+    """The §6.3 measurements."""
+
+    # Ticks from creation to death, by deletion method.
+    overwrite_lifetimes: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    delete_lifetimes: np.ndarray = field(default_factory=lambda: np.array([]))
+    temporary_lifetimes: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    # Gap between the creating session's close and the killing action.
+    close_to_overwrite_gaps: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    close_to_delete_gaps: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    # Size of the file when it died (figure 7's x axis).
+    death_sizes: np.ndarray = field(default_factory=lambda: np.array([]))
+    death_lifetimes: np.ndarray = field(default_factory=lambda: np.array([]))
+    # Same-process attribution (§6.3's 94% / 36%).
+    overwrite_same_process: int = 0
+    overwrite_total_matched: int = 0
+    delete_same_process: int = 0
+    delete_total_matched: int = 0
+    # Files opened between creation and explicit deletion (§6.3's 18%).
+    delete_with_intervening_opens: int = 0
+    n_created: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_deleted(self) -> int:
+        return (self.overwrite_lifetimes.size + self.delete_lifetimes.size
+                + self.temporary_lifetimes.size)
+
+    def method_shares(self) -> dict[str, float]:
+        """Deletion-source split (§6.3: 37% / 62% / 1%)."""
+        total = max(1, self.n_deleted)
+        return {
+            "overwrite": 100.0 * self.overwrite_lifetimes.size / total,
+            "explicit": 100.0 * self.delete_lifetimes.size / total,
+            "temporary": 100.0 * self.temporary_lifetimes.size / total,
+        }
+
+    def all_lifetimes(self) -> np.ndarray:
+        return np.concatenate([self.overwrite_lifetimes,
+                               self.delete_lifetimes,
+                               self.temporary_lifetimes])
+
+    def fraction_deleted_within(self, seconds: float,
+                                method: Optional[str] = None) -> float:
+        """Fraction of deleted new files dying within ``seconds``."""
+        if method == "overwrite":
+            arr = self.overwrite_lifetimes
+        elif method == "explicit":
+            arr = self.delete_lifetimes
+        elif method == "temporary":
+            arr = self.temporary_lifetimes
+        else:
+            arr = self.all_lifetimes()
+        if arr.size == 0:
+            return float("nan")
+        return float(np.mean(arr <= seconds * TICKS_PER_SECOND))
+
+    def lifetime_cdf(self, method: str) -> tuple[np.ndarray, np.ndarray]:
+        """Figure 6: CDF of new-file lifetime for one deletion method."""
+        arr = {"overwrite": self.overwrite_lifetimes,
+               "explicit": self.delete_lifetimes,
+               "temporary": self.temporary_lifetimes}[method]
+        return cdf_points(arr / TICKS_PER_SECOND)
+
+    def size_lifetime_sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """Figure 7: (size at death, lifetime seconds) scatter sample."""
+        return self.death_sizes, self.death_lifetimes / TICKS_PER_SECOND
+
+    def could_have_used_temporary_pct(self,
+                                      write_behind_seconds: float = 1.5
+                                      ) -> float:
+        """§6.3's "at least 25%-35% of all the deleted new files could
+        have benefited" from the temporary attribute.
+
+        A deleted new file benefited if its data actually reached the
+        disk before the deletion — i.e. it outlived the write-behind
+        delay, so the lazy writer's traffic was wasted.  Files that died
+        inside the delay were already saved by deletion racing the
+        writer; the temporary attribute would have changed nothing.
+        """
+        threshold = write_behind_seconds * TICKS_PER_SECOND
+        wasted = int((self.overwrite_lifetimes > threshold).sum()
+                     + (self.delete_lifetimes > threshold).sum())
+        total = self.n_deleted
+        if total == 0:
+            return float("nan")
+        return 100.0 * wasted / total
+
+    def size_lifetime_correlation(self) -> float:
+        """Rank correlation between size and lifetime (§6.3: none)."""
+        if self.death_sizes.size < 3:
+            return float("nan")
+        from scipy import stats as sstats
+        rho, _p = sstats.spearmanr(self.death_sizes, self.death_lifetimes)
+        return float(rho)
+
+
+def _sessions_by_path(instances: list["Instance"]
+                      ) -> dict[tuple[int, str, str], list["Instance"]]:
+    by_path: dict[tuple[int, str, str], list["Instance"]] = {}
+    for inst in instances:
+        if inst.open_failed or not inst.path:
+            continue
+        key = (inst.machine_idx, inst.volume_label, inst.path.lower())
+        by_path.setdefault(key, []).append(inst)
+    for sessions in by_path.values():
+        sessions.sort(key=lambda s: s.open_t)
+    return by_path
+
+
+def analyze_lifetimes(wh: "TraceWarehouse") -> LifetimeAnalysis:
+    """Match created files to their deaths and measure lifetimes."""
+    result = LifetimeAnalysis()
+    by_path = _sessions_by_path(wh.instances)
+    overwrite_lt: list[int] = []
+    delete_lt: list[int] = []
+    temp_lt: list[int] = []
+    ow_gaps: list[int] = []
+    del_gaps: list[int] = []
+    sizes: list[float] = []
+    size_lts: list[int] = []
+
+    for _key, sessions in by_path.items():
+        for idx, inst in enumerate(sessions):
+            if not inst.was_created:
+                continue
+            result.n_created += 1
+            created_t = inst.open_t
+            closed_t = inst.session_end_t
+            last_size = inst.file_size_max
+
+            # Temporary files die at their creating session's cleanup.
+            if inst.temporary and inst.explicit_delete_t < 0:
+                lifetime = max(0, closed_t - created_t)
+                temp_lt.append(lifetime)
+                sizes.append(float(last_size))
+                size_lts.append(lifetime)
+                continue
+
+            # Walk forward for the first killing event.
+            death: Optional[tuple[str, int, "Instance"]] = None
+            intervening_opens = 0
+            if inst.explicit_delete_t >= 0:
+                death = ("explicit", inst.explicit_delete_t, inst)
+            else:
+                for later in sessions[idx + 1:]:
+                    if later.was_overwrite:
+                        death = ("overwrite", later.open_t, later)
+                        break
+                    if later.explicit_delete_t >= 0:
+                        death = ("explicit", later.explicit_delete_t, later)
+                        break
+                    intervening_opens += 1
+                    if later.file_size_max > 0:
+                        last_size = later.file_size_max
+            if death is None:
+                continue
+            method, death_t, killer = death
+            lifetime = max(0, death_t - created_t)
+            sizes.append(float(last_size))
+            size_lts.append(lifetime)
+            same_process = killer.pid == inst.pid
+            if method == "overwrite":
+                overwrite_lt.append(lifetime)
+                ow_gaps.append(max(0, death_t - closed_t))
+                result.overwrite_total_matched += 1
+                if same_process:
+                    result.overwrite_same_process += 1
+            else:
+                delete_lt.append(lifetime)
+                del_gaps.append(max(0, death_t - closed_t))
+                result.delete_total_matched += 1
+                if same_process:
+                    result.delete_same_process += 1
+                if intervening_opens > 0:
+                    result.delete_with_intervening_opens += 1
+
+    result.overwrite_lifetimes = np.asarray(overwrite_lt, dtype=float)
+    result.delete_lifetimes = np.asarray(delete_lt, dtype=float)
+    result.temporary_lifetimes = np.asarray(temp_lt, dtype=float)
+    result.close_to_overwrite_gaps = np.asarray(ow_gaps, dtype=float)
+    result.close_to_delete_gaps = np.asarray(del_gaps, dtype=float)
+    result.death_sizes = np.asarray(sizes, dtype=float)
+    result.death_lifetimes = np.asarray(size_lts, dtype=float)
+    return result

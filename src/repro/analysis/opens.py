@@ -1,0 +1,252 @@
+"""Open/close characteristics (§8.1): figures 11 and 12.
+
+Open-request interarrival (split by session purpose), session lifetimes
+(open to cleanup) by usage type, file reuse rates, the cleanup-to-close
+gap of the two-stage close, error rates and the read/write follow-up
+spacing of §8.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.clock import TICKS_PER_MILLISECOND, TICKS_PER_SECOND
+from repro.common.status import NtStatus
+from repro.nt.tracing.records import TraceEventKind
+from repro.stats.descriptive import cdf_points
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+
+@dataclass
+class OpenCloseAnalysis:
+    """The §8.1 / §8.2 measurements."""
+
+    # Open interarrival times (ticks) by purpose, concatenated per machine.
+    interarrival_all: np.ndarray = field(default_factory=lambda: np.array([]))
+    interarrival_data: np.ndarray = field(default_factory=lambda: np.array([]))
+    interarrival_control: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    # Session lifetimes (ticks) by population.
+    session_all: np.ndarray = field(default_factory=lambda: np.array([]))
+    session_data: np.ndarray = field(default_factory=lambda: np.array([]))
+    session_control: np.ndarray = field(default_factory=lambda: np.array([]))
+    session_by_usage: dict[str, np.ndarray] = field(default_factory=dict)
+    # Cleanup-to-close gaps (ticks).
+    close_gap_clean: np.ndarray = field(default_factory=lambda: np.array([]))
+    close_gap_written: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    # Open sessions per purpose (§8.3's 74% control share).
+    n_data_opens: int = 0
+    n_control_opens: int = 0
+    # Reuse (§8.1).
+    read_only_reopened_pct: float = float("nan")
+    write_only_rewritten_pct: float = float("nan")
+    write_then_read_pct: float = float("nan")
+    read_write_reopened_pct: float = float("nan")
+    # Errors (§8.4).
+    open_failure_pct: float = float("nan")
+    failure_not_found_pct: float = float("nan")
+    failure_collision_pct: float = float("nan")
+    control_failure_pct: float = float("nan")
+    read_failure_pct: float = float("nan")
+    write_failure_pct: float = float("nan")
+    # Data-op spacing (§8.2).
+    read_followup_gaps: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    write_followup_gaps: np.ndarray = field(
+        default_factory=lambda: np.array([]))
+    # §8.1: fraction of 1-second intervals of the session that carry any
+    # open requests at all (the paper saw at most 24% — extreme
+    # burstiness at the second scale).
+    active_open_interval_pct: float = float("nan")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def control_open_share_pct(self) -> float:
+        total = self.n_data_opens + self.n_control_opens
+        return 100.0 * self.n_control_opens / total if total else float("nan")
+
+    def fraction_sessions_shorter_than(self, millis: float,
+                                       population: str = "all") -> float:
+        arr = {"all": self.session_all, "data": self.session_data,
+               "control": self.session_control}[population]
+        if arr.size == 0:
+            return float("nan")
+        return float(np.mean(arr <= millis * TICKS_PER_MILLISECOND))
+
+    def interarrival_cdf(self, purpose: str = "all"
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Figure 11 data (x in milliseconds)."""
+        arr = {"all": self.interarrival_all, "data": self.interarrival_data,
+               "control": self.interarrival_control}[purpose]
+        return cdf_points(arr / TICKS_PER_MILLISECOND)
+
+    def session_cdf(self, population: str = "all"
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Figure 12 data (x in milliseconds)."""
+        arr = {"all": self.session_all, "data": self.session_data,
+               "control": self.session_control}[population]
+        return cdf_points(arr / TICKS_PER_MILLISECOND)
+
+
+def _interarrivals(times_by_machine: dict[int, list[int]]) -> np.ndarray:
+    gaps: list[np.ndarray] = []
+    for times in times_by_machine.values():
+        if len(times) < 2:
+            continue
+        arr = np.sort(np.asarray(times, dtype=float))
+        gaps.append(np.diff(arr))
+    if not gaps:
+        return np.array([])
+    return np.concatenate(gaps)
+
+
+def analyze_opens(wh: "TraceWarehouse") -> OpenCloseAnalysis:
+    """Compute §8's open/close statistics from the instance table."""
+    result = OpenCloseAnalysis()
+    instances = wh.instances
+
+    all_times: dict[int, list[int]] = {}
+    data_times: dict[int, list[int]] = {}
+    control_times: dict[int, list[int]] = {}
+    session_all: list[int] = []
+    session_data: list[int] = []
+    session_control: list[int] = []
+    by_usage: dict[str, list[int]] = {"read-only": [], "write-only": [],
+                                      "read-write": []}
+    gap_clean: list[int] = []
+    gap_written: list[int] = []
+    n_failures = 0
+    n_not_found = 0
+    n_collision = 0
+    read_gaps: list[np.ndarray] = []
+    write_gaps: list[np.ndarray] = []
+    # Reuse tracking: per path, the set of usages of its sessions.
+    usage_by_path: dict[tuple[int, str, str], list[str]] = {}
+
+    for inst in instances:
+        all_times.setdefault(inst.machine_idx, []).append(inst.open_t)
+        if inst.open_failed:
+            n_failures += 1
+            if inst.open_status in (NtStatus.OBJECT_NAME_NOT_FOUND,
+                                    NtStatus.OBJECT_PATH_NOT_FOUND):
+                n_not_found += 1
+            elif inst.open_status == NtStatus.OBJECT_NAME_COLLISION:
+                n_collision += 1
+            continue
+        duration = inst.session_duration
+        session_all.append(duration)
+        if inst.has_data:
+            result.n_data_opens += 1
+            data_times.setdefault(inst.machine_idx, []).append(inst.open_t)
+            session_data.append(duration)
+            if inst.usage in by_usage:
+                by_usage[inst.usage].append(duration)
+            key = (inst.machine_idx, inst.volume_label, inst.path.lower())
+            usage_by_path.setdefault(key, []).append(inst.usage)
+        else:
+            result.n_control_opens += 1
+            control_times.setdefault(inst.machine_idx, []).append(inst.open_t)
+            session_control.append(duration)
+        gap = inst.close_gap
+        if gap >= 0:
+            if inst.n_writes > 0:
+                gap_written.append(gap)
+            else:
+                gap_clean.append(gap)
+        # §8.2 follow-up spacing within the session.
+        rt = np.asarray([op.t for op in inst.ops if op.is_read], dtype=float)
+        wt = np.asarray([op.t for op in inst.ops if not op.is_read],
+                        dtype=float)
+        if rt.size >= 2:
+            read_gaps.append(np.diff(rt))
+        if wt.size >= 2:
+            write_gaps.append(np.diff(wt))
+
+    # Active 1-second intervals per machine (§8.1).
+    active_fracs = []
+    for times in all_times.values():
+        if len(times) < 2:
+            continue
+        arr = np.asarray(times, dtype=np.int64)
+        span = arr.max() - arr.min()
+        n_bins = max(1, int(span // TICKS_PER_SECOND) + 1)
+        occupied = np.unique((arr - arr.min()) // TICKS_PER_SECOND).size
+        active_fracs.append(occupied / n_bins)
+    if active_fracs:
+        result.active_open_interval_pct = 100.0 * float(
+            np.mean(active_fracs))
+
+    result.interarrival_all = _interarrivals(all_times)
+    result.interarrival_data = _interarrivals(data_times)
+    result.interarrival_control = _interarrivals(control_times)
+    result.session_all = np.asarray(session_all, dtype=float)
+    result.session_data = np.asarray(session_data, dtype=float)
+    result.session_control = np.asarray(session_control, dtype=float)
+    result.session_by_usage = {u: np.asarray(v, dtype=float)
+                               for u, v in by_usage.items()}
+    result.close_gap_clean = np.asarray(gap_clean, dtype=float)
+    result.close_gap_written = np.asarray(gap_written, dtype=float)
+    result.read_followup_gaps = (np.concatenate(read_gaps)
+                                 if read_gaps else np.array([]))
+    result.write_followup_gaps = (np.concatenate(write_gaps)
+                                  if write_gaps else np.array([]))
+
+    # Reuse rates.
+    ro_multi = ro_total = 0
+    wo_rewrite = wo_read = wo_total = 0
+    rw_multi = rw_total = 0
+    for usages in usage_by_path.values():
+        n_ro = usages.count("read-only")
+        n_wo = usages.count("write-only")
+        n_rw = usages.count("read-write")
+        if n_ro:
+            ro_total += 1
+            if n_ro > 1:
+                ro_multi += 1
+        if n_wo:
+            wo_total += 1
+            if n_wo > 1:
+                wo_rewrite += 1
+            if n_ro > 0 or n_rw > 0:
+                wo_read += 1
+        if n_rw:
+            rw_total += 1
+            if n_rw > 1:
+                rw_multi += 1
+    if ro_total:
+        result.read_only_reopened_pct = 100.0 * ro_multi / ro_total
+    if wo_total:
+        result.write_only_rewritten_pct = 100.0 * wo_rewrite / wo_total
+        result.write_then_read_pct = 100.0 * wo_read / wo_total
+    if rw_total:
+        result.read_write_reopened_pct = 100.0 * rw_multi / rw_total
+
+    # Error rates.
+    n_opens = len(instances)
+    if n_opens:
+        result.open_failure_pct = 100.0 * n_failures / n_opens
+    if n_failures:
+        result.failure_not_found_pct = 100.0 * n_not_found / n_failures
+        result.failure_collision_pct = 100.0 * n_collision / n_failures
+    reads_mask = wh.mask_reads
+    writes_mask = wh.mask_writes
+    if reads_mask.any():
+        read_errors = (wh.status[reads_mask] >= 0xC0000000).mean()
+        result.read_failure_pct = 100.0 * float(read_errors)
+    if writes_mask.any():
+        write_errors = (wh.status[writes_mask] >= 0xC0000000).mean()
+        result.write_failure_pct = 100.0 * float(write_errors)
+    control_mask = wh.mask_kind(
+        *(k for k in TraceEventKind
+          if "QUERY" in k.name or "SET" in k.name or "FSCTL" in k.name))
+    if control_mask.any():
+        failures = (wh.status[control_mask] >= 0xC0000000).mean()
+        result.control_failure_pct = 100.0 * float(failures)
+    return result

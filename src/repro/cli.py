@@ -1,0 +1,124 @@
+"""Command-line interface: run studies, archive traces, print reports.
+
+::
+
+    python -m repro run    --machines 6 --seconds 120 --out traces/
+    python -m repro report traces/
+    python -m repro figures traces/ --out figure-data/
+
+``run`` simulates a trace collection and archives it; ``report`` prints
+the paper's tables from an archive (or runs a fresh study when no archive
+is given); ``figures`` exports every figure's data series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'File system usage in Windows NT 4.0'"
+                    " (Vogels, SOSP '99)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a trace-collection study")
+    run.add_argument("--machines", type=int, default=6)
+    run.add_argument("--seconds", type=float, default=120.0)
+    run.add_argument("--seed", type=int, default=1998)
+    run.add_argument("--scale", type=float, default=0.12)
+    run.add_argument("--out", type=Path, default=None,
+                     help="directory for the .nttrace archive")
+
+    report = sub.add_parser("report", help="print the paper's tables")
+    report.add_argument("traces", type=Path, nargs="?", default=None,
+                        help=".nttrace archive directory (default: run a"
+                             " fresh study)")
+    report.add_argument("--seed", type=int, default=1998)
+
+    figures = sub.add_parser("figures", help="export figure data as CSV")
+    figures.add_argument("traces", type=Path, nargs="?", default=None)
+    figures.add_argument("--out", type=Path, default=Path("figure-data"))
+    figures.add_argument("--seed", type=int, default=1998)
+    return parser
+
+
+def _load_or_run(traces: Optional[Path], seed: int):
+    from repro import StudyConfig, TraceWarehouse, run_study
+    from repro.nt.tracing.store import load_study
+
+    if traces is not None:
+        collectors = load_study(traces)
+        if not collectors:
+            raise SystemExit(f"no .nttrace files found in {traces}")
+        print(f"loaded {len(collectors)} machines from {traces}",
+              file=sys.stderr)
+        return TraceWarehouse(collectors), None
+    result = run_study(StudyConfig(n_machines=6, duration_seconds=120,
+                                   seed=seed))
+    return TraceWarehouse.from_study(result), result
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro import StudyConfig, run_study
+    from repro.nt.tracing.store import save_study
+
+    result = run_study(StudyConfig(
+        n_machines=args.machines, duration_seconds=args.seconds,
+        seed=args.seed, content_scale=args.scale))
+    print(f"collected {result.total_records} records from "
+          f"{len(result.collectors)} machines")
+    if args.out is not None:
+        paths = save_study(result.collectors, args.out)
+        total = sum(p.stat().st_size for p in paths)
+        print(f"archived {len(paths)} machines to {args.out} "
+              f"({total / 1024:.0f} KB)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.activity import user_activity_table
+    from repro.analysis.categories import by_category, format_category_table
+    from repro.analysis.patterns import access_pattern_table
+    from repro.analysis.report import summarize_observations
+
+    warehouse, result = _load_or_run(args.traces, args.seed)
+    counters = result.counters if result is not None else None
+    print(summarize_observations(warehouse, counters).format())
+    print("\nTable 2 (user activity):")
+    print(user_activity_table(warehouse).format())
+    print("\nTable 3 (access patterns):")
+    print(access_pattern_table(warehouse).format())
+    if warehouse.machine_categories:
+        print("\nUsage categories:")
+        print(format_category_table(by_category(warehouse)))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import figure_series, write_csv
+
+    warehouse, _result = _load_or_run(args.traces, args.seed)
+    figures = figure_series(warehouse, np.random.default_rng(args.seed))
+    paths = write_csv(figures, args.out)
+    for path in paths:
+        print(path)
+    print(f"wrote {len(paths)} figure files to {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "report": cmd_report,
+                "figures": cmd_figures}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Shared substrate: simulation clock, NT status codes, flags, and errors.
+
+Everything in the simulator is expressed in 100-nanosecond *ticks*, the
+granularity the paper's trace driver used for its dual timestamps.
+"""
+
+from repro.common.clock import (
+    SimClock,
+    TICKS_PER_MICROSECOND,
+    TICKS_PER_MILLISECOND,
+    TICKS_PER_SECOND,
+    ticks_from_seconds,
+    ticks_from_millis,
+    ticks_from_micros,
+    seconds_from_ticks,
+    millis_from_ticks,
+    micros_from_ticks,
+)
+from repro.common.status import NtStatus
+from repro.common.flags import (
+    FileAccess,
+    FileAttributes,
+    CreateDisposition,
+    CreateOptions,
+    ShareMode,
+    IrpFlags,
+    FileObjectFlags,
+)
+
+__all__ = [
+    "SimClock",
+    "TICKS_PER_MICROSECOND",
+    "TICKS_PER_MILLISECOND",
+    "TICKS_PER_SECOND",
+    "ticks_from_seconds",
+    "ticks_from_millis",
+    "ticks_from_micros",
+    "seconds_from_ticks",
+    "millis_from_ticks",
+    "micros_from_ticks",
+    "NtStatus",
+    "FileAccess",
+    "FileAttributes",
+    "CreateDisposition",
+    "CreateOptions",
+    "ShareMode",
+    "IrpFlags",
+    "FileObjectFlags",
+]

@@ -1,0 +1,114 @@
+"""Flag and disposition enumerations shared across the I/O stack.
+
+These mirror the Windows NT 4.0 definitions closely enough that the trace
+records carry the same semantics the paper's instrumentation logged (create
+options, file attributes, IRP header flags, file-object state bits).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FileAccess(enum.IntFlag):
+    """Desired-access mask for CreateFile / IRP_MJ_CREATE."""
+
+    NONE = 0
+    READ_DATA = 0x0001
+    WRITE_DATA = 0x0002
+    APPEND_DATA = 0x0004
+    READ_ATTRIBUTES = 0x0080
+    WRITE_ATTRIBUTES = 0x0100
+    DELETE = 0x10000
+    SYNCHRONIZE = 0x100000
+
+    GENERIC_READ = READ_DATA | READ_ATTRIBUTES | SYNCHRONIZE
+    GENERIC_WRITE = WRITE_DATA | APPEND_DATA | WRITE_ATTRIBUTES | SYNCHRONIZE
+    GENERIC_ALL = GENERIC_READ | GENERIC_WRITE | DELETE
+
+
+class ShareMode(enum.IntFlag):
+    """Sharing mode requested at open time."""
+
+    NONE = 0
+    READ = 0x1
+    WRITE = 0x2
+    DELETE = 0x4
+    ALL = READ | WRITE | DELETE
+
+
+class CreateDisposition(enum.IntEnum):
+    """NT create dispositions (what to do if the file does / does not exist).
+
+    Win32 maps onto these: CREATE_NEW -> CREATE, CREATE_ALWAYS -> OVERWRITE_IF,
+    OPEN_EXISTING -> OPEN, OPEN_ALWAYS -> OPEN_IF,
+    TRUNCATE_EXISTING -> OVERWRITE.
+    """
+
+    SUPERSEDE = 0
+    OPEN = 1
+    CREATE = 2
+    OPEN_IF = 3
+    OVERWRITE = 4
+    OVERWRITE_IF = 5
+
+
+class CreateOptions(enum.IntFlag):
+    """Create-option bits carried by IRP_MJ_CREATE."""
+
+    NONE = 0
+    DIRECTORY_FILE = 0x00000001
+    WRITE_THROUGH = 0x00000010
+    SEQUENTIAL_ONLY = 0x00000004
+    NO_INTERMEDIATE_BUFFERING = 0x00000008
+    RANDOM_ACCESS = 0x00000800
+    NON_DIRECTORY_FILE = 0x00000040
+    DELETE_ON_CLOSE = 0x00001000
+    OPEN_FOR_BACKUP_INTENT = 0x00004000
+
+
+class FileAttributes(enum.IntFlag):
+    """Attributes stored with a file (and specifiable at create time)."""
+
+    NORMAL = 0x0080
+    READONLY = 0x0001
+    HIDDEN = 0x0002
+    SYSTEM = 0x0004
+    DIRECTORY = 0x0010
+    ARCHIVE = 0x0020
+    TEMPORARY = 0x0100
+    COMPRESSED = 0x0800
+
+
+class IrpFlags(enum.IntFlag):
+    """Header flags on an I/O request packet.
+
+    ``PAGING_IO`` is the bit the paper's §3.3 keys on to separate VM-manager
+    traffic from direct requests; ``SYNCHRONOUS_PAGING_IO`` marks lazy-writer
+    and image-load activity issued synchronously by the VM manager.
+    """
+
+    NONE = 0
+    NOCACHE = 0x00000001
+    PAGING_IO = 0x00000002
+    SYNCHRONOUS_API = 0x00000004
+    SYNCHRONOUS_PAGING_IO = 0x00000040
+    WRITE_THROUGH = 0x00000080
+
+
+class FileObjectFlags(enum.IntFlag):
+    """State bits on a file object (the per-open kernel object).
+
+    A subset of the real FO_* flags: the ones the cache manager, the VM
+    manager, and the analysis in the paper actually care about.
+    """
+
+    NONE = 0
+    WRITE_THROUGH = 0x00000010
+    SEQUENTIAL_ONLY = 0x00000020
+    NO_INTERMEDIATE_BUFFERING = 0x00000040
+    CACHE_SUPPORTED = 0x00000080
+    TEMPORARY_FILE = 0x00000100
+    DELETE_ON_CLOSE = 0x00000200
+    RANDOM_ACCESS = 0x00000400
+    CLEANUP_COMPLETE = 0x00001000

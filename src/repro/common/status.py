@@ -1,0 +1,50 @@
+"""NTSTATUS codes used by the simulated I/O subsystem.
+
+Values match the real NT status codes so traces read familiarly; only the
+subset the file-system stack can actually return is defined.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NtStatus(enum.IntEnum):
+    """Completion status of an I/O request."""
+
+    SUCCESS = 0x00000000
+    PENDING = 0x00000103
+
+    # Informational / warning class.
+    BUFFER_OVERFLOW = 0x80000005
+    NO_MORE_FILES = 0x80000006
+
+    # Error class.
+    INVALID_PARAMETER = 0xC000000D
+    END_OF_FILE = 0xC0000011
+    ACCESS_DENIED = 0xC0000022
+    OBJECT_NAME_NOT_FOUND = 0xC0000034
+    OBJECT_NAME_COLLISION = 0xC0000035
+    OBJECT_PATH_NOT_FOUND = 0xC000003A
+    SHARING_VIOLATION = 0xC0000043
+    DELETE_PENDING = 0xC0000056
+    DISK_FULL = 0xC000007F
+    FILE_IS_A_DIRECTORY = 0xC00000BA
+    NOT_SAME_DEVICE = 0xC00000D4
+    DIRECTORY_NOT_EMPTY = 0xC0000101
+    NOT_A_DIRECTORY = 0xC0000103
+    CANNOT_DELETE = 0xC0000121
+    FILE_DELETED = 0xC0000123
+    MEDIA_WRITE_PROTECTED = 0xC00000A2
+    INVALID_DEVICE_REQUEST = 0xC0000010
+    NOT_SUPPORTED = 0xC00000BB
+
+    @property
+    def is_success(self) -> bool:
+        """True for the success and informational classes (severity < error)."""
+        return self.value < 0xC0000000
+
+    @property
+    def is_error(self) -> bool:
+        """True for the error class."""
+        return self.value >= 0xC0000000

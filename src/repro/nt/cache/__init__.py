@@ -1,0 +1,31 @@
+"""The cache manager (Cc): caching at the logical file-block level.
+
+The cache manager never asks a file system to read or write directly; it
+maps files and lets paging I/O through the VM manager move the data (§9).
+This package provides the copy interface the FastIO path lands in, the
+read-ahead predictor (§9.1), and the lazy writer (§9.2).
+"""
+
+from repro.nt.cache.cachemanager import (
+    CacheManager,
+    SharedCacheMap,
+    PrivateCacheMap,
+    PAGE_SIZE,
+    DEFAULT_READ_AHEAD,
+    BOOSTED_READ_AHEAD,
+)
+from repro.nt.cache.readahead import ReadAheadPredictor, SEQUENTIAL_FUZZ_MASK
+from repro.nt.cache.lazywriter import LazyWriter, LAZY_WRITE_SCAN_INTERVAL_TICKS
+
+__all__ = [
+    "CacheManager",
+    "SharedCacheMap",
+    "PrivateCacheMap",
+    "PAGE_SIZE",
+    "DEFAULT_READ_AHEAD",
+    "BOOSTED_READ_AHEAD",
+    "ReadAheadPredictor",
+    "SEQUENTIAL_FUZZ_MASK",
+    "LazyWriter",
+    "LAZY_WRITE_SCAN_INTERVAL_TICKS",
+]

@@ -1,0 +1,53 @@
+"""Sequential-access prediction for read-ahead (§9.1).
+
+The cache manager tracks each file object's read pattern in its private
+cache map and triggers read-ahead when it sees the *third* of a run of
+sequential requests.  "Sequential" is fuzzy: the comparison masks the
+lowest 7 bits of the offsets, allowing small gaps in the sequence.
+"""
+
+from __future__ import annotations
+
+# The cache manager masks the lowest 7 bits when comparing offsets, so a
+# read starting within 128 bytes of the previous end still counts as
+# sequential (§9.1).
+SEQUENTIAL_FUZZ_MASK = ~0x7F
+
+# Read-ahead fires on the 3rd request of a sequential run (§9.1).
+SEQUENTIAL_RUN_TRIGGER = 3
+
+
+def fuzzy_sequential(previous_end: int, offset: int) -> bool:
+    """True when ``offset`` continues ``previous_end`` under the 7-bit mask."""
+    return (offset & SEQUENTIAL_FUZZ_MASK) == (previous_end & SEQUENTIAL_FUZZ_MASK)
+
+
+class ReadAheadPredictor:
+    """Per-file-object sequential run tracking.
+
+    Lives inside the private cache map.  ``observe`` is called on every copy
+    read and reports whether read-ahead should fire for data beyond what the
+    initial prefetch loaded.
+    """
+
+    __slots__ = ("last_read_end", "run_length", "total_reads")
+
+    def __init__(self) -> None:
+        self.last_read_end = -1
+        self.run_length = 0
+        self.total_reads = 0
+
+    def observe(self, offset: int, length: int) -> bool:
+        """Record a read; return True when read-ahead should trigger.
+
+        The first read of a file object starts a run of length 1; read-ahead
+        triggers on every read from the ``SEQUENTIAL_RUN_TRIGGER``-th
+        sequential request onward.
+        """
+        self.total_reads += 1
+        if self.last_read_end >= 0 and fuzzy_sequential(self.last_read_end, offset):
+            self.run_length += 1
+        else:
+            self.run_length = 1
+        self.last_read_end = offset + length
+        return self.run_length >= SEQUENTIAL_RUN_TRIGGER

@@ -1,0 +1,24 @@
+"""File-system substrate: nodes, volumes, paths, disks, and FS drivers."""
+
+from repro.nt.fs.nodes import FileNode, DirectoryNode, Node
+from repro.nt.fs.volume import Volume
+from repro.nt.fs.path import split_path, join_path, normalize_path, basename, dirname, extension_of
+from repro.nt.fs.disk import DiskModel, IDE_DISK, SCSI_ULTRA2_DISK
+from repro.nt.fs.driver import FileSystemDriver
+
+__all__ = [
+    "FileNode",
+    "DirectoryNode",
+    "Node",
+    "Volume",
+    "split_path",
+    "join_path",
+    "normalize_path",
+    "basename",
+    "dirname",
+    "extension_of",
+    "DiskModel",
+    "IDE_DISK",
+    "SCSI_ULTRA2_DISK",
+    "FileSystemDriver",
+]

@@ -1,0 +1,66 @@
+r"""Backslash path handling, case-insensitive like NT file systems.
+
+Paths are volume-relative (the drive letter is resolved before the path
+reaches a volume): ``\winnt\profiles\alice\desktop.ini``.
+"""
+
+from __future__ import annotations
+
+SEPARATOR = "\\"
+
+
+def normalize_path(path: str) -> str:
+    r"""Canonical form: single leading backslash, no trailing backslash.
+
+    ``\`` (the root itself) stays ``\``.  Forward slashes are accepted and
+    converted, as the Win32 layer does.
+    """
+    path = path.replace("/", SEPARATOR)
+    parts = [p for p in path.split(SEPARATOR) if p]
+    return SEPARATOR + SEPARATOR.join(parts)
+
+
+def split_path(path: str) -> list[str]:
+    r"""Component list of a normalized path; the root yields ``[]``."""
+    path = path.replace("/", SEPARATOR)
+    return [p for p in path.split(SEPARATOR) if p]
+
+
+def join_path(*parts: str) -> str:
+    r"""Join components into a normalized absolute path."""
+    pieces: list[str] = []
+    for part in parts:
+        pieces.extend(split_path(part))
+    return SEPARATOR + SEPARATOR.join(pieces)
+
+
+def basename(path: str) -> str:
+    r"""Final component of a path; empty string for the root."""
+    parts = split_path(path)
+    return parts[-1] if parts else ""
+
+
+def dirname(path: str) -> str:
+    r"""Parent path; the root is its own parent."""
+    parts = split_path(path)
+    if len(parts) <= 1:
+        return SEPARATOR
+    return SEPARATOR + SEPARATOR.join(parts[:-1])
+
+
+def extension_of(name: str) -> str:
+    r"""Lower-cased extension without the dot; empty when there is none.
+
+    This is the "short form" the paper stores file names in: the snapshot
+    walker keeps file *types*, not individual names (§3.1).
+    """
+    base = basename(name) if SEPARATOR in name or "/" in name else name
+    dot = base.rfind(".")
+    if dot <= 0 or dot == len(base) - 1:
+        return ""
+    return base[dot + 1:].lower()
+
+
+def casefold_component(component: str) -> str:
+    r"""Case-insensitive key for directory lookups."""
+    return component.lower()

@@ -1,0 +1,52 @@
+"""NT sharing-mode arbitration.
+
+A CreateFile succeeds only if (a) the requested access is admitted by the
+share modes of every existing open of the file, and (b) the requested
+share mode admits every existing open's access.  Violations return
+STATUS_SHARING_VIOLATION — part of the paper's residual open-failure
+population (§8.4's failures beyond not-found and collision).
+"""
+
+from __future__ import annotations
+
+from repro.common.flags import FileAccess, ShareMode
+
+_READ_BITS = int(FileAccess.READ_DATA)
+_WRITE_BITS = int(FileAccess.WRITE_DATA | FileAccess.APPEND_DATA)
+_DELETE_BITS = int(FileAccess.DELETE)
+
+
+def _wants(access: int) -> tuple[bool, bool, bool]:
+    return (bool(access & _READ_BITS), bool(access & _WRITE_BITS),
+            bool(access & _DELETE_BITS))
+
+
+def _shares(share: int) -> tuple[bool, bool, bool]:
+    return (bool(share & ShareMode.READ), bool(share & ShareMode.WRITE),
+            bool(share & ShareMode.DELETE))
+
+
+def sharing_permits(existing: list[tuple[int, int]], access: int,
+                    share: int) -> bool:
+    """True when a new open (access, share) is compatible with ``existing``.
+
+    ``existing`` holds (access, share) pairs of the file's current opens.
+    Attribute-only opens (no read/write/delete data access) never
+    conflict, as in NT.
+    """
+    want = _wants(access)
+    grant = _shares(share)
+    if not any(want):
+        return True
+    for other_access, other_share in existing:
+        other_want = _wants(other_access)
+        if not any(other_want):
+            continue
+        other_grant = _shares(other_share)
+        # The new open's desires must be shared by every existing open...
+        if any(w and not g for w, g in zip(want, other_grant)):
+            return False
+        # ...and the new open's share mode must admit their desires.
+        if any(w and not g for w, g in zip(other_want, grant)):
+            return False
+    return True

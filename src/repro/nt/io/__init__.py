@@ -1,0 +1,19 @@
+"""The I/O manager: IRPs, file objects, device stacks, FastIO dispatch."""
+
+from repro.nt.io.irp import Irp, IrpMajor, IrpMinor
+from repro.nt.io.fastio import FastIoOp, FastIoResult
+from repro.nt.io.fileobject import FileObject
+from repro.nt.io.driver import Driver, DeviceObject
+from repro.nt.io.iomanager import IoManager
+
+__all__ = [
+    "Irp",
+    "IrpMajor",
+    "IrpMinor",
+    "FastIoOp",
+    "FastIoResult",
+    "FileObject",
+    "Driver",
+    "DeviceObject",
+    "IoManager",
+]

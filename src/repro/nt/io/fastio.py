@@ -1,0 +1,74 @@
+"""The FastIO dispatch path (§10).
+
+FastIO is the second access path into a file-system driver: a direct
+procedural interface the I/O manager tries *before* building an IRP, once a
+file has caching initialised.  "Fast" refers not to the call mechanism but
+to the direct route into the cache manager's copy interface.  A driver (or
+filter) may decline any call, in which case the I/O manager retries over
+the IRP path — both behaviours are modelled here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.status import NtStatus
+
+
+class FastIoOp(enum.IntEnum):
+    """The FastIO routine vector of NT 4.0 (FAST_IO_DISPATCH order)."""
+
+    CHECK_IF_POSSIBLE = 0
+    READ = 1
+    WRITE = 2
+    QUERY_BASIC_INFO = 3
+    QUERY_STANDARD_INFO = 4
+    LOCK = 5
+    UNLOCK_SINGLE = 6
+    UNLOCK_ALL = 7
+    UNLOCK_ALL_BY_KEY = 8
+    DEVICE_CONTROL = 9
+    ACQUIRE_FILE_FOR_NT_CREATE_SECTION = 10
+    RELEASE_FILE_FOR_NT_CREATE_SECTION = 11
+    DETACH_DEVICE = 12
+    QUERY_NETWORK_OPEN_INFO = 13
+    ACQUIRE_FOR_MOD_WRITE = 14
+    MDL_READ = 15
+    MDL_READ_COMPLETE = 16
+    PREPARE_MDL_WRITE = 17
+    MDL_WRITE_COMPLETE = 18
+    READ_COMPRESSED = 19
+    WRITE_COMPRESSED = 20
+    MDL_READ_COMPLETE_COMPRESSED = 21
+    MDL_WRITE_COMPLETE_COMPRESSED = 22
+    QUERY_OPEN = 23
+    RELEASE_FOR_MOD_WRITE = 24
+    ACQUIRE_FOR_CC_FLUSH = 25
+    RELEASE_FOR_CC_FLUSH = 26
+
+
+@dataclass
+class FastIoResult:
+    """Outcome of a FastIO attempt.
+
+    ``handled`` False means the driver declined and the I/O manager must
+    fall back to the IRP path; when True, ``status`` and ``returned`` carry
+    the completed operation's result.
+    """
+
+    handled: bool
+    status: NtStatus = NtStatus.SUCCESS
+    returned: int = 0
+
+    @classmethod
+    def declined(cls) -> "FastIoResult":
+        return cls(handled=False)
+
+    @classmethod
+    def ok(cls, returned: int = 0) -> "FastIoResult":
+        return cls(handled=True, status=NtStatus.SUCCESS, returned=returned)
+
+    @classmethod
+    def failed(cls, status: NtStatus) -> "FastIoResult":
+        return cls(handled=True, status=status)

@@ -1,0 +1,92 @@
+"""File objects: the per-open kernel object.
+
+Every successful (and, for tracing, attempted) IRP_MJ_CREATE produces a
+file object.  The paper's second fact table — the *instance* table — is
+keyed by exactly this object: one file object equals one open-close
+session.  The cache and VM managers take references on it, which is what
+produces NT's two-stage cleanup/close behaviour (§8.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.common.flags import FileAccess, FileObjectFlags, ShareMode
+from repro.nt.fs.volume import Volume
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nt.cache.cachemanager import PrivateCacheMap
+    from repro.nt.fs.nodes import FileNode
+
+
+class FileObject:
+    """One open instance of a file (or directory, or volume)."""
+
+    __slots__ = (
+        "fo_id",
+        "path",
+        "volume",
+        "node",
+        "flags",
+        "granted_access",
+        "share_mode",
+        "current_byte_offset",
+        "process_id",
+        "opened_at",
+        "private_cache_map",
+        "ref_count",
+        "cleanup_done",
+        "closed",
+        "is_directory_open",
+    )
+
+    def __init__(self, fo_id: int, path: str, volume: Volume,
+                 process_id: int, opened_at: int) -> None:
+        self.fo_id = fo_id
+        self.path = path
+        self.volume = volume
+        self.node: Optional["FileNode"] = None
+        self.flags = FileObjectFlags.NONE
+        self.granted_access = FileAccess.NONE
+        self.share_mode = ShareMode.ALL
+        self.current_byte_offset = 0
+        self.process_id = process_id
+        self.opened_at = opened_at
+        # Set by the cache manager on CcInitializeCacheMap; its presence is
+        # what makes the I/O manager try the FastIO path.
+        self.private_cache_map: Optional["PrivateCacheMap"] = None
+        # One reference for the user handle; the cache manager and VM
+        # manager add theirs.  The close IRP goes down when this hits zero.
+        self.ref_count = 1
+        self.cleanup_done = False
+        self.closed = False
+        self.is_directory_open = False
+
+    @property
+    def caching_initialized(self) -> bool:
+        """True once the file system has asked Cc to cache this file."""
+        return self.private_cache_map is not None
+
+    def has_flag(self, flag: FileObjectFlags) -> bool:
+        return bool(self.flags & flag)
+
+    def set_flag(self, flag: FileObjectFlags) -> None:
+        self.flags |= flag
+
+    def reference(self) -> int:
+        """Take a reference (cache manager / VM manager)."""
+        if self.closed:
+            raise RuntimeError(f"referencing closed file object {self.fo_id}")
+        self.ref_count += 1
+        return self.ref_count
+
+    def dereference(self) -> int:
+        """Drop a reference; the owner sends IRP_MJ_CLOSE at zero."""
+        if self.ref_count <= 0:
+            raise RuntimeError(f"over-dereferenced file object {self.fo_id}")
+        self.ref_count -= 1
+        return self.ref_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FileObject {self.fo_id} {self.path!r} refs={self.ref_count} "
+                f"cleanup={self.cleanup_done} closed={self.closed}>")

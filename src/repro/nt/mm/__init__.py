@@ -1,0 +1,5 @@
+"""The virtual memory manager: paging I/O, sections, image loading."""
+
+from repro.nt.mm.vmmanager import VmManager, MAX_PAGING_TRANSFER
+
+__all__ = ["VmManager", "MAX_PAGING_TRANSFER"]

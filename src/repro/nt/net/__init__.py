@@ -1,0 +1,5 @@
+"""The network redirector (CIFS-style remote file access)."""
+
+from repro.nt.net.redirector import RedirectorDriver, NetworkModel, SWITCHED_100MBIT
+
+__all__ = ["RedirectorDriver", "NetworkModel", "SWITCHED_100MBIT"]

@@ -1,0 +1,39 @@
+"""Trace instrumentation: filter driver, buffers, collector, snapshots."""
+
+from repro.nt.tracing.records import (
+    TraceEventKind,
+    TraceRecord,
+    NameRecord,
+    kind_for_irp,
+    kind_for_fastio,
+    N_EVENT_KINDS,
+)
+from repro.nt.tracing.buffers import TripleBuffer, BUFFER_CAPACITY
+from repro.nt.tracing.collector import TraceCollector
+from repro.nt.tracing.driver import TraceFilterDriver
+from repro.nt.tracing.snapshot import SnapshotRecord, take_snapshot
+from repro.nt.tracing.store import (
+    load_collector,
+    load_study,
+    save_collector,
+    save_study,
+)
+
+__all__ = [
+    "TraceEventKind",
+    "TraceRecord",
+    "NameRecord",
+    "kind_for_irp",
+    "kind_for_fastio",
+    "N_EVENT_KINDS",
+    "TripleBuffer",
+    "BUFFER_CAPACITY",
+    "TraceCollector",
+    "TraceFilterDriver",
+    "SnapshotRecord",
+    "take_snapshot",
+    "load_collector",
+    "load_study",
+    "save_collector",
+    "save_study",
+]

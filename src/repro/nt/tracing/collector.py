@@ -1,0 +1,57 @@
+"""The trace collection server.
+
+The paper ran three dedicated collection servers storing incoming event
+streams in compressed form; here a collector is an in-process sink that
+accumulates trace records, name records, per-process names and file-system
+snapshots for one machine, ready for the analysis warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nt.tracing.records import NameRecord, TraceRecord
+from repro.nt.tracing.snapshot import SnapshotRecord
+
+
+class TraceCollector:
+    """Accumulates one machine's tracing output."""
+
+    def __init__(self, machine_name: str) -> None:
+        self.machine_name = machine_name
+        self.records: list[TraceRecord] = []
+        self.name_records: list[NameRecord] = []
+        # pid -> process image name (the paper attributed requests to the
+        # requesting process).
+        self.process_names: dict[int, str] = {}
+        # pid -> True when the process takes direct user input (for the
+        # §7 "92% of accesses come from non-interactive processes" cut).
+        self.process_interactive: dict[int, bool] = {}
+        # (label, day) -> snapshot record list.
+        self.snapshots: list[tuple[str, int, list[SnapshotRecord]]] = []
+
+    def receive(self, batch: Sequence[TraceRecord]) -> None:
+        """Accept a flushed trace buffer."""
+        self.records.extend(batch)
+
+    def receive_name(self, record: NameRecord) -> None:
+        """Accept a file-object name record."""
+        self.name_records.append(record)
+
+    def register_process(self, pid: int, name: str, interactive: bool) -> None:
+        """Record the identity of a traced process."""
+        self.process_names[pid] = name
+        self.process_interactive[pid] = interactive
+
+    def receive_snapshot(self, volume_label: str, when: int,
+                         records: list[SnapshotRecord]) -> None:
+        """Accept one volume snapshot."""
+        self.snapshots.append((volume_label, when, records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceCollector {self.machine_name}: {len(self.records)} "
+                f"records, {len(self.name_records)} names, "
+                f"{len(self.snapshots)} snapshots>")

@@ -1,0 +1,60 @@
+"""File-system snapshots (§3.1).
+
+Each morning the paper's trace agent walked the local file systems,
+producing a record per file and directory — name in short (type) form,
+sizes, and the three timestamps — ordered so the tree can be recovered.
+FAT volumes contribute no creation/last-access times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nt.fs.nodes import DirectoryNode, FileNode
+from repro.nt.fs.volume import Volume
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One walk record: a file or directory's attributes at snapshot time."""
+
+    __slots__ = ("is_directory", "path", "extension", "depth", "size",
+                 "creation_time", "last_write_time", "last_access_time",
+                 "n_files", "n_subdirectories")
+
+    is_directory: bool
+    path: str
+    extension: str
+    depth: int
+    size: int
+    creation_time: int
+    last_write_time: int
+    last_access_time: int
+    n_files: int
+    n_subdirectories: int
+
+
+def take_snapshot(volume: Volume) -> list[SnapshotRecord]:
+    """Walk a volume depth-first and produce its snapshot records."""
+    records: list[SnapshotRecord] = []
+    keeps_times = volume.maintains_creation_time
+    for node in volume.walk():
+        path = node.full_path()
+        depth = path.count("\\")
+        creation = node.creation_time if keeps_times else 0
+        access = node.last_access_time if volume.maintains_access_time else 0
+        if isinstance(node, DirectoryNode):
+            records.append(SnapshotRecord(
+                is_directory=True, path=path, extension="", depth=depth,
+                size=0, creation_time=creation,
+                last_write_time=node.last_write_time,
+                last_access_time=access,
+                n_files=node.n_files,
+                n_subdirectories=node.n_subdirectories))
+        elif isinstance(node, FileNode):
+            records.append(SnapshotRecord(
+                is_directory=False, path=path, extension=node.extension,
+                depth=depth, size=node.size, creation_time=creation,
+                last_write_time=node.last_write_time,
+                last_access_time=access, n_files=0, n_subdirectories=0))
+    return records

@@ -1,0 +1,152 @@
+"""On-disk trace storage.
+
+The paper's collection servers stored incoming event streams "in
+compressed formats for later retrieval" and one of the study's goals was
+a data collection available for public inspection.  This module gives the
+simulated collectors the same property: a compact binary format (packed
+little-endian records, zlib-compressed) that round-trips a
+:class:`~repro.nt.tracing.collector.TraceCollector` through a single
+file, so studies can be archived and re-analysed without re-simulation.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.nt.tracing.collector import TraceCollector
+from repro.nt.tracing.records import NameRecord, TraceRecord
+from repro.nt.tracing.snapshot import SnapshotRecord
+
+_MAGIC = b"NTTRACE1"
+_RECORD = struct.Struct("<15q")
+_SNAP = struct.Struct("<?5q3q")  # is_dir + size/time fields + counts/depth
+
+
+def _write_str(buf: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    buf.write(struct.pack("<I", len(raw)))
+    buf.write(raw)
+
+
+def _read_str(buf: BinaryIO) -> str:
+    (length,) = struct.unpack("<I", buf.read(4))
+    return buf.read(length).decode("utf-8")
+
+
+def _pack_collector(collector: TraceCollector) -> bytes:
+    buf = io.BytesIO()
+    _write_str(buf, collector.machine_name)
+    # Trace records.
+    buf.write(struct.pack("<Q", len(collector.records)))
+    for r in collector.records:
+        buf.write(_RECORD.pack(
+            r.kind, r.fo_id, r.pid, r.t_start, r.t_end, r.status,
+            r.irp_flags, r.offset, r.length, r.returned, r.file_size,
+            r.disposition, r.options, r.attributes, r.info))
+    # Name records.
+    buf.write(struct.pack("<Q", len(collector.name_records)))
+    for n in collector.name_records:
+        buf.write(struct.pack("<qq?q", n.fo_id, n.pid,
+                              n.volume_is_remote, n.t))
+        _write_str(buf, n.path)
+        _write_str(buf, n.volume_label)
+    # Processes.
+    buf.write(struct.pack("<Q", len(collector.process_names)))
+    for pid, name in collector.process_names.items():
+        buf.write(struct.pack(
+            "<q?", pid, collector.process_interactive.get(pid, False)))
+        _write_str(buf, name)
+    # Snapshots.
+    buf.write(struct.pack("<Q", len(collector.snapshots)))
+    for label, when, records in collector.snapshots:
+        _write_str(buf, label)
+        buf.write(struct.pack("<qQ", when, len(records)))
+        for s in records:
+            buf.write(_SNAP.pack(
+                s.is_directory, s.size, s.creation_time, s.last_write_time,
+                s.last_access_time, s.depth, s.n_files, s.n_subdirectories,
+                0))
+            _write_str(buf, s.path)
+            _write_str(buf, s.extension)
+    return buf.getvalue()
+
+
+def _unpack_collector(raw: bytes) -> TraceCollector:
+    buf = io.BytesIO(raw)
+    collector = TraceCollector(_read_str(buf))
+    (n_records,) = struct.unpack("<Q", buf.read(8))
+    for _ in range(n_records):
+        fields = _RECORD.unpack(buf.read(_RECORD.size))
+        collector.records.append(TraceRecord(*fields))
+    (n_names,) = struct.unpack("<Q", buf.read(8))
+    for _ in range(n_names):
+        fo_id, pid, is_remote, t = struct.unpack("<qq?q", buf.read(25))
+        path = _read_str(buf)
+        label = _read_str(buf)
+        collector.name_records.append(NameRecord(
+            fo_id=fo_id, path=path, volume_label=label,
+            volume_is_remote=is_remote, pid=pid, t=t))
+    (n_procs,) = struct.unpack("<Q", buf.read(8))
+    for _ in range(n_procs):
+        pid, interactive = struct.unpack("<q?", buf.read(9))
+        name = _read_str(buf)
+        collector.register_process(pid, name, interactive)
+    (n_snaps,) = struct.unpack("<Q", buf.read(8))
+    for _ in range(n_snaps):
+        label = _read_str(buf)
+        when, n_recs = struct.unpack("<qQ", buf.read(16))
+        records = []
+        for _ in range(n_recs):
+            (is_dir, size, creation, last_write, last_access, depth,
+             n_files, n_subdirs, _pad) = _SNAP.unpack(buf.read(_SNAP.size))
+            path = _read_str(buf)
+            ext = _read_str(buf)
+            records.append(SnapshotRecord(
+                is_directory=is_dir, path=path, extension=ext, depth=depth,
+                size=size, creation_time=creation,
+                last_write_time=last_write, last_access_time=last_access,
+                n_files=n_files, n_subdirectories=n_subdirs))
+        collector.receive_snapshot(label, when, records)
+    return collector
+
+
+def save_collector(collector: TraceCollector,
+                   path: Union[str, Path]) -> int:
+    """Write a collector to disk; returns the compressed byte count."""
+    payload = zlib.compress(_pack_collector(collector), level=6)
+    data = _MAGIC + struct.pack("<Q", len(payload)) + payload
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_collector(path: Union[str, Path]) -> TraceCollector:
+    """Read a collector written by :func:`save_collector`."""
+    data = Path(path).read_bytes()
+    if data[:8] != _MAGIC:
+        raise ValueError(f"{path}: not a trace store file")
+    (length,) = struct.unpack("<Q", data[8:16])
+    payload = data[16:16 + length]
+    return _unpack_collector(zlib.decompress(payload))
+
+
+def save_study(collectors, directory: Union[str, Path]) -> list[Path]:
+    """Write one file per collector into a directory; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for collector in collectors:
+        path = directory / f"{collector.machine_name}.nttrace"
+        save_collector(collector, path)
+        paths.append(path)
+    return paths
+
+
+def load_study(directory: Union[str, Path]) -> list[TraceCollector]:
+    """Read every trace store file in a directory, sorted by name."""
+    directory = Path(directory)
+    return [load_collector(p)
+            for p in sorted(directory.glob("*.nttrace"))]

@@ -1,0 +1,86 @@
+"""Statistics toolbox.
+
+Two halves:
+
+* *Samplers* (:mod:`repro.stats.distributions`) — seeded heavy-tailed and
+  light-tailed random variates used by the synthetic workload generator.
+* *Estimators* — the analyses the paper's §7 performs on its trace data:
+  descriptive summaries and CDFs (:mod:`repro.stats.descriptive`), the Hill
+  estimator and log-log complementary-distribution tail fit
+  (:mod:`repro.stats.heavy_tail`), QQ-plot data against Normal and Pareto
+  references (:mod:`repro.stats.qq`), Poisson multi-timescale burstiness
+  comparison (:mod:`repro.stats.poisson`) and a variance-time self-similarity
+  check (:mod:`repro.stats.selfsim`).
+"""
+
+from repro.stats.distributions import (
+    Pareto,
+    BoundedPareto,
+    LogNormal,
+    Exponential,
+    HyperExponential,
+    Uniform,
+    Zipf,
+    Choice,
+    Constant,
+    Empirical,
+    OnOffProcess,
+)
+from repro.stats.descriptive import Summary, summarize, cdf_points, weighted_cdf_points, percentile
+from repro.stats.heavy_tail import (
+    hill_estimator,
+    hill_plot,
+    llcd_points,
+    fit_tail_index,
+    pareto_mle,
+    TailFit,
+)
+from repro.stats.qq import qq_normal, qq_pareto, qq_correlation
+from repro.stats.poisson import (
+    aggregate_counts,
+    synthesize_poisson_arrivals,
+    index_of_dispersion,
+    burstiness_profile,
+    BurstinessProfile,
+)
+from repro.stats.selfsim import (
+    variance_time_points,
+    hurst_from_variance_time,
+    hurst_rescaled_range,
+)
+
+__all__ = [
+    "Pareto",
+    "BoundedPareto",
+    "LogNormal",
+    "Exponential",
+    "HyperExponential",
+    "Uniform",
+    "Zipf",
+    "Choice",
+    "Constant",
+    "Empirical",
+    "OnOffProcess",
+    "Summary",
+    "summarize",
+    "cdf_points",
+    "weighted_cdf_points",
+    "percentile",
+    "hill_estimator",
+    "hill_plot",
+    "llcd_points",
+    "fit_tail_index",
+    "pareto_mle",
+    "TailFit",
+    "qq_normal",
+    "qq_pareto",
+    "qq_correlation",
+    "aggregate_counts",
+    "synthesize_poisson_arrivals",
+    "index_of_dispersion",
+    "burstiness_profile",
+    "BurstinessProfile",
+    "variance_time_points",
+    "hurst_from_variance_time",
+    "hurst_rescaled_range",
+]

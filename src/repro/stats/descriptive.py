@@ -1,0 +1,135 @@
+"""Descriptive statistics and CDF construction.
+
+The paper repeatedly reports "X% of <things> are below <value>" curves
+(figures 1–6 and 11–14 are all cumulative distributions, some weighted by a
+second variable such as bytes transferred).  ``cdf_points`` and
+``weighted_cdf_points`` produce exactly those curves; ``Summary`` carries the
+avg/stdev/min/max descriptors tables 2 and 3 report — with the caveat the
+paper itself raises (§6) that for heavy-tailed data these are summaries of a
+sample, not parameters of a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Basic descriptors of a sample (the paper's avg/stdev/min/max set)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+    p99: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} p50={self.median:.4g} p90={self.p90:.4g} "
+            f"p99={self.p99:.4g} max={self.maximum:.4g}"
+        )
+
+
+_EMPTY_SUMMARY = Summary(0, float("nan"), float("nan"), float("nan"), float("nan"),
+                         float("nan"), float("nan"), float("nan"))
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` for a sample; NaN fields when empty."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return _EMPTY_SUMMARY
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile ``q`` in [0, 100] of the sample; NaN when empty."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Returns ``(x, p)`` where ``p[i]`` is the fraction of samples <= ``x[i]``;
+    ``x`` is the sorted set of distinct sample values.  Suitable for plotting
+    or for reading off "the Y% mark is at X" figures.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return np.array([]), np.array([])
+    x, counts = np.unique(arr, return_counts=True)
+    p = np.cumsum(counts) / arr.size
+    return x, p
+
+
+def weighted_cdf_points(
+    values: Sequence[float], weights: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of ``values`` where each sample contributes its ``weight``.
+
+    This is the construction behind the paper's "weighted by bytes
+    transferred" figures (2 and 4): the curve answers "what fraction of all
+    bytes moved in runs/files of size <= x".
+    """
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError("values and weights must have the same shape")
+    if v.size == 0:
+        return np.array([]), np.array([])
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total == 0:
+        return np.array([]), np.array([])
+    order = np.argsort(v, kind="stable")
+    v_sorted = v[order]
+    w_sorted = w[order]
+    x, idx = np.unique(v_sorted, return_index=True)
+    # Sum weights per distinct value: cumulative sum sliced at group ends.
+    csum = np.cumsum(w_sorted)
+    ends = np.append(idx[1:] - 1, v_sorted.size - 1)
+    p = csum[ends] / total
+    return x, p
+
+
+def cdf_value_at(x: np.ndarray, p: np.ndarray, value: float) -> float:
+    """Read P[X <= value] off a CDF produced by the functions above."""
+    if x.size == 0:
+        return float("nan")
+    i = np.searchsorted(x, value, side="right") - 1
+    if i < 0:
+        return 0.0
+    return float(p[i])
+
+
+def cdf_quantile(x: np.ndarray, p: np.ndarray, q: float) -> float:
+    """Smallest value at which the CDF reaches ``q`` (0 < q <= 1)."""
+    if x.size == 0:
+        return float("nan")
+    if not (0.0 < q <= 1.0):
+        raise ValueError("q must be in (0, 1]")
+    i = int(np.searchsorted(p, q, side="left"))
+    if i >= x.size:
+        return float(x[-1])
+    return float(x[i])

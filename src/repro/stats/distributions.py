@@ -1,0 +1,339 @@
+"""Seeded random-variate samplers for the synthetic workload.
+
+The paper's central statistical finding is that *every* file-system usage
+variable it measured is heavy-tailed (Hill tail indices between 1.2 and
+1.7).  To make those findings emergent rather than hard-coded, the workload
+generator draws sizes, counts, think times and session lengths from the
+samplers here — Pareto and bounded-Pareto for the tails, lognormal for
+bodies, and an ON/OFF process for burst structure.
+
+All samplers take a :class:`numpy.random.Generator`; the study seeds one
+generator per machine so runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class Sampler:
+    """Base class: a distribution that can draw scalar samples."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one variate."""
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` variates as an array (default: loop over sample())."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    def sample_int(self, rng: np.random.Generator, minimum: int = 0) -> int:
+        """Draw one variate rounded to an int, floored at ``minimum``."""
+        return max(minimum, int(round(self.sample(rng))))
+
+
+class Constant(Sampler):
+    """Degenerate distribution: always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform(Sampler):
+    """Uniform on [low, high)."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if high < low:
+            raise ValueError("high must be >= low")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Exponential(Sampler):
+    """Exponential with the given mean (the light-tailed reference case)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self.mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean, size=n)
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self.mean})"
+
+
+class Pareto(Sampler):
+    """Pareto with shape ``alpha`` and scale (minimum) ``xm``.
+
+    P[X > x] = (xm / x) ** alpha for x >= xm.  ``alpha < 2`` gives infinite
+    variance; ``alpha < 1`` infinite mean — the regime the paper reports for
+    file-system variables (alpha in 1.2–1.7).
+    """
+
+    def __init__(self, alpha: float, xm: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if xm <= 0:
+            raise ValueError("xm must be positive")
+        self.alpha = float(alpha)
+        self.xm = float(xm)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Inverse-CDF: xm * U^(-1/alpha).
+        u = rng.random()
+        while u == 0.0:  # pragma: no cover - measure-zero guard
+            u = rng.random()
+        return self.xm * u ** (-1.0 / self.alpha)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(size=n)
+        u[u == 0.0] = 0.5
+        return self.xm * u ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        """Theoretical mean (inf when alpha <= 1)."""
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def __repr__(self) -> str:
+        return f"Pareto(alpha={self.alpha}, xm={self.xm})"
+
+
+class BoundedPareto(Sampler):
+    """Pareto truncated to [low, high].
+
+    Used where a physical bound exists (a file cannot exceed the volume, a
+    read cannot exceed 4 GB) but the body should still be power-law.
+    """
+
+    def __init__(self, alpha: float, low: float, high: float) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not (0 < low < high):
+            raise ValueError("need 0 < low < high")
+        self.alpha = float(alpha)
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.sample_many(rng, 1)[0])
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        a = self.alpha
+        u = rng.random(size=n)
+        # Inverse CDF of the truncated Pareto:
+        # x = (L^-a - U * (L^-a - H^-a)) ^ (-1/a).
+        ha = self.high ** -a
+        la = self.low ** -a
+        return (la - u * (la - ha)) ** (-1.0 / a)
+
+    def __repr__(self) -> str:
+        return f"BoundedPareto(alpha={self.alpha}, low={self.low}, high={self.high})"
+
+
+class LogNormal(Sampler):
+    """Lognormal parameterised by the median and sigma of log-space.
+
+    ``median`` is exp(mu); heavy-ish body without a true power tail, used
+    for distribution *bodies* (the small-file mass, short think times).
+    """
+
+    def __init__(self, median: float, sigma: float) -> None:
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self._mu, self.sigma, size=n)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(median={self.median}, sigma={self.sigma})"
+
+
+class HyperExponential(Sampler):
+    """Mixture of exponentials: a cheap high-variance (but light-tailed) mix.
+
+    ``branches`` is a sequence of (probability, mean) pairs.
+    """
+
+    def __init__(self, branches: Sequence[tuple[float, float]]) -> None:
+        if not branches:
+            raise ValueError("need at least one branch")
+        total = sum(p for p, _ in branches)
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(f"branch probabilities must sum to 1, got {total}")
+        if any(m <= 0 for _, m in branches):
+            raise ValueError("branch means must be positive")
+        self.probs = np.array([p for p, _ in branches])
+        self.means = np.array([m for _, m in branches])
+
+    def sample(self, rng: np.random.Generator) -> float:
+        i = rng.choice(len(self.probs), p=self.probs)
+        return float(rng.exponential(self.means[i]))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        idx = rng.choice(len(self.probs), size=n, p=self.probs)
+        return rng.exponential(self.means[idx])
+
+    def __repr__(self) -> str:
+        pairs = list(zip(self.probs.tolist(), self.means.tolist()))
+        return f"HyperExponential({pairs})"
+
+
+class Zipf(Sampler):
+    """Zipf rank distribution over ``n`` items with exponent ``s``.
+
+    Returns ranks in [0, n); used for popularity (which file of a set an
+    application touches).
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if s <= 0:
+            raise ValueError("s must be positive")
+        self.n = int(n)
+        self.s = float(s)
+        weights = 1.0 / np.arange(1, self.n + 1, dtype=float) ** self.s
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.searchsorted(self._cdf, rng.random(size=n), side="right").astype(float)
+
+    def __repr__(self) -> str:
+        return f"Zipf(n={self.n}, s={self.s})"
+
+
+class Choice(Sampler):
+    """Discrete choice over explicit (value, weight) pairs.
+
+    Used for things like the 512 / 4096-byte read-size preference the paper
+    reports in §8.2.
+    """
+
+    def __init__(self, pairs: Sequence[tuple[float, float]]) -> None:
+        if not pairs:
+            raise ValueError("need at least one (value, weight) pair")
+        if any(w < 0 for _, w in pairs):
+            raise ValueError("weights must be non-negative")
+        total = sum(w for _, w in pairs)
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self.values = np.array([v for v, _ in pairs], dtype=float)
+        self.probs = np.array([w / total for _, w in pairs])
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values, p=self.probs))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self.values, size=n, p=self.probs)
+
+    def __repr__(self) -> str:
+        return f"Choice({len(self.values)} values)"
+
+
+class Empirical(Sampler):
+    """Inverse-CDF sampling from an observed sample.
+
+    Stores a quantile grid of the data (bounded memory regardless of the
+    sample size) and draws by interpolating a uniform variate through it.
+    This is how fitted workload models (see
+    :mod:`repro.workload.synthesis`) carry a traced distribution —
+    including its heavy tail — into a generated benchmark, per the
+    paper's §7 point 3.
+    """
+
+    def __init__(self, data, n_quantiles: int = 512) -> None:
+        arr = np.asarray(data, dtype=float)
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            raise ValueError("need at least one finite sample")
+        if n_quantiles < 2:
+            raise ValueError("need at least 2 quantiles")
+        grid = np.linspace(0.0, 1.0, num=min(n_quantiles, max(2, arr.size)))
+        self.quantiles = np.quantile(arr, grid)
+        self._grid = grid
+        self.n_source = int(arr.size)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.interp(rng.random(), self._grid, self.quantiles))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.interp(rng.random(size=n), self._grid, self.quantiles)
+
+    def __repr__(self) -> str:
+        return (f"Empirical(n={self.n_source}, "
+                f"median={self.quantiles[len(self.quantiles) // 2]:.4g})")
+
+
+class OnOffProcess:
+    """An ON/OFF burst process with independently distributed period lengths.
+
+    The paper (§7, citing Willinger/Paxson) attributes the self-similar
+    burstiness of file-system traffic to heavy-tailed ON/OFF behaviour of the
+    contributing processes.  The workload generator uses one of these per
+    application session: during ON periods the application issues operations
+    back-to-back (separated by `spacing` draws); OFF periods are idle.
+    """
+
+    def __init__(self, on_duration: Sampler, off_duration: Sampler) -> None:
+        self.on_duration = on_duration
+        self.off_duration = off_duration
+
+    def periods(self, rng: np.random.Generator, horizon: float, start: float = 0.0):
+        """Yield (on_start, on_end) bursts until ``horizon`` is reached.
+
+        The process alternates ON, OFF, ON, ... beginning with an ON period
+        at ``start``.  The final ON period is clipped to the horizon.
+        """
+        t = float(start)
+        while t < horizon:
+            on = max(0.0, float(self.on_duration.sample(rng)))
+            end = min(t + on, horizon)
+            if end > t:
+                yield (t, end)
+            t = end
+            if t >= horizon:
+                return
+            off = max(0.0, float(self.off_duration.sample(rng)))
+            t += off
+
+    def __repr__(self) -> str:
+        return f"OnOffProcess(on={self.on_duration!r}, off={self.off_duration!r})"

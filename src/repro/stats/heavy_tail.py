@@ -1,0 +1,143 @@
+"""Heavy-tail estimation: Hill estimator and LLCD tail fits.
+
+Section 7 of the paper establishes that every traced variable has a
+power-law tail: P[X > x] ~ x^-alpha with alpha between 1.2 and 1.7.  Two
+estimators are used there and reproduced here:
+
+* the **Hill estimator** over the k largest order statistics, and
+* a least-squares slope fit to the **log-log complementary distribution**
+  (LLCD) plot, the construction behind the paper's figure 10.
+
+``alpha < 2`` implies infinite variance; ``alpha < 1`` infinite mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def hill_estimator(values: Sequence[float], k: int) -> float:
+    """Hill estimate of the tail index alpha from the k largest samples.
+
+    ``alpha_hat = k / sum_{i=1..k} log(X_(n-i+1) / X_(n-k))`` where X_(j) are
+    order statistics.  Requires at least ``k + 1`` positive samples.
+    """
+    arr = np.asarray(values, dtype=float)
+    arr = arr[arr > 0]
+    n = arr.size
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n < k + 1:
+        raise ValueError(f"need at least k+1={k + 1} positive samples, have {n}")
+    tail = np.sort(arr)[-(k + 1):]
+    threshold = tail[0]
+    logs = np.log(tail[1:] / threshold)
+    denom = logs.sum()
+    if denom <= 0:
+        return float("inf")
+    return float(k / denom)
+
+
+def hill_plot(values: Sequence[float], k_values: Sequence[int] | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+    """Hill estimates across a sweep of k (for choosing a stable region).
+
+    Returns ``(k, alpha_hat)`` arrays.  Default sweep: 10 .. n/4 in ~50 steps.
+    """
+    arr = np.asarray(values, dtype=float)
+    arr = arr[arr > 0]
+    n = arr.size
+    if n < 20:
+        raise ValueError("need at least 20 positive samples for a Hill plot")
+    if k_values is None:
+        upper = max(11, n // 4)
+        k_values = np.unique(np.linspace(10, upper, num=min(50, upper - 9), dtype=int))
+    ks = np.asarray(list(k_values), dtype=int)
+    alphas = np.array([hill_estimator(arr, int(k)) for k in ks])
+    return ks, alphas
+
+
+def llcd_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Log-log complementary distribution plot data (the paper's figure 10).
+
+    Returns ``(log10(x), log10(P[X > x]))`` for the positive distinct sample
+    values, excluding the largest point (where the empirical complementary
+    CDF is zero and the log is undefined).
+    """
+    arr = np.asarray(values, dtype=float)
+    arr = np.sort(arr[arr > 0])
+    n = arr.size
+    if n < 2:
+        return np.array([]), np.array([])
+    x, first_idx = np.unique(arr, return_index=True)
+    # P[X > x] computed at each distinct value: count of samples strictly
+    # greater, i.e. n - (index of last occurrence + 1).
+    counts = np.append(first_idx[1:], n)  # cumulative count of samples <= x
+    ccdf = (n - counts) / n
+    keep = ccdf > 0
+    return np.log10(x[keep]), np.log10(ccdf[keep])
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """Result of a least-squares LLCD tail fit."""
+
+    alpha: float
+    intercept: float
+    r_squared: float
+    n_tail_points: int
+
+    @property
+    def infinite_variance(self) -> bool:
+        """Power-law tails with alpha < 2 have infinite variance."""
+        return self.alpha < 2.0
+
+    @property
+    def infinite_mean(self) -> bool:
+        """Power-law tails with alpha < 1 have infinite mean."""
+        return self.alpha < 1.0
+
+
+def fit_tail_index(values: Sequence[float], tail_fraction: float = 0.1) -> TailFit:
+    """Estimate alpha by least-squares on the upper LLCD tail.
+
+    ``tail_fraction`` selects the upper fraction of distinct values (by
+    count of LLCD points) to fit, mirroring the paper's "least-squares
+    regression of points in the plotted tail".
+    """
+    if not (0 < tail_fraction <= 1):
+        raise ValueError("tail_fraction must be in (0, 1]")
+    lx, ly = llcd_points(values)
+    if lx.size < 5:
+        raise ValueError("need at least 5 LLCD points to fit a tail")
+    n_tail = max(5, int(lx.size * tail_fraction))
+    tx = lx[-n_tail:]
+    ty = ly[-n_tail:]
+    slope, intercept = np.polyfit(tx, ty, 1)
+    pred = slope * tx + intercept
+    ss_res = float(np.sum((ty - pred) ** 2))
+    ss_tot = float(np.sum((ty - ty.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return TailFit(alpha=float(-slope), intercept=float(intercept),
+                   r_squared=r2, n_tail_points=int(n_tail))
+
+
+def pareto_mle(values: Sequence[float]) -> tuple[float, float]:
+    """Maximum-likelihood (alpha, xm) for a Pareto fit to positive samples.
+
+    ``xm_hat = min(x)``; ``alpha_hat = n / sum(log(x / xm_hat))``.  Used to
+    parameterise the Pareto reference line in QQ plots (figure 9, right).
+    """
+    arr = np.asarray(values, dtype=float)
+    arr = arr[arr > 0]
+    if arr.size < 2:
+        raise ValueError("need at least 2 positive samples")
+    xm = float(arr.min())
+    logs = np.log(arr / xm)
+    s = logs.sum()
+    if s <= 0:
+        return float("inf"), xm
+    return float(arr.size / s), xm

@@ -1,0 +1,65 @@
+"""Synthetic workload: file-system content, application models, users.
+
+This package replaces the unavailable production environment of the paper's
+45 traced machines.  Initial disk content follows §5's shapes (exe/dll/font
+dominated size tails, a profile tree with a churning WWW cache); the
+application models follow the per-application behaviours the paper calls
+out (§6, §8–10); and session structure is heavy-tailed ON/OFF, the
+mechanism §7 credits for the traffic's self-similar burstiness.
+"""
+
+from repro.workload.content import (
+    ContentCatalog,
+    build_system_volume,
+    build_user_share,
+    FILE_TYPE_SIZES,
+)
+from repro.workload.apps import (
+    AppContext,
+    AppModel,
+    NotepadApp,
+    ExplorerApp,
+    CompilerApp,
+    WebBrowserApp,
+    MailApp,
+    WinlogonApp,
+    ServicesApp,
+    JavaToolApp,
+    BigBufferMailerApp,
+    ScientificApp,
+    DbAdminApp,
+    FrontPageApp,
+    InstallerApp,
+    APP_REGISTRY,
+)
+from repro.workload.users import UsageCategory, CATEGORY_PROFILES, build_machine
+from repro.workload.study import StudyConfig, StudyResult, run_study
+
+__all__ = [
+    "ContentCatalog",
+    "build_system_volume",
+    "build_user_share",
+    "FILE_TYPE_SIZES",
+    "AppContext",
+    "AppModel",
+    "NotepadApp",
+    "ExplorerApp",
+    "CompilerApp",
+    "WebBrowserApp",
+    "MailApp",
+    "WinlogonApp",
+    "ServicesApp",
+    "JavaToolApp",
+    "BigBufferMailerApp",
+    "ScientificApp",
+    "DbAdminApp",
+    "FrontPageApp",
+    "InstallerApp",
+    "APP_REGISTRY",
+    "UsageCategory",
+    "CATEGORY_PROFILES",
+    "build_machine",
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+]

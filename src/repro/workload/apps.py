@@ -1,0 +1,1014 @@
+r"""Application behaviour models.
+
+Each model reproduces a usage pattern the paper attributes to a real
+application class:
+
+* ``NotepadApp`` — the §1 save storm: failed existence probes, an
+  overwrite, and extra open/close pairs around a tiny data transfer.
+* ``ExplorerApp`` — the GUI's control-operation chatter: directory
+  enumeration, attribute queries, volume checks (§7, §8.3).
+* ``CompilerApp`` — the development workload whose 5–8 MB precompiled
+  header / incremental-link files produced the paper's peak throughput
+  (§6.1), plus the fast overwrite of freshly-written outputs (§6.3).
+* ``WebBrowserApp`` — the WWW cache churn behind up to 90% of profile
+  changes (§5): many small creates, quick overwrites and deletes.
+* ``MailApp`` — read-write random access to mailbox files, including the
+  flush-after-every-write anti-pattern (§9.2).
+* ``WinlogonApp`` — profile download/upload at session start/end (§5).
+* ``ServicesApp`` — long-held handles and the rare uncached/write-through
+  opens that dominate the cache-disabled population (§9).
+* ``JavaToolApp`` — 2–4-byte reads, thousands per class file (§10).
+* ``BigBufferMailerApp`` — a single 4 MB write buffer (§10).
+* ``ScientificApp`` — 100–300 MB files read in small portions through
+  memory-mapped views (§6.1).
+* ``DbAdminApp`` — database-style random I/O plus temporary files carrying
+  the TEMPORARY attribute and delete-on-close (§6.3's 1%).
+
+All parameters are drawn from heavy-tailed samplers so §7's statistics are
+emergent.  A model's ``step`` performs one burst of operations (advancing
+the simulated clock through the I/O it performs) and returns the absolute
+tick at which it wants to run again, or None when the session ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.clock import (
+    ticks_from_micros,
+    ticks_from_millis,
+    ticks_from_seconds,
+)
+from repro.common.flags import (
+    CreateDisposition,
+    CreateOptions,
+    FileAccess,
+    FileAttributes,
+)
+from repro.common.status import NtStatus
+from repro.stats.distributions import Choice, LogNormal, Pareto
+from repro.workload.content import ContentCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nt.system import Machine, Process
+
+
+class TailedChoice:
+    """A discrete size preference with a Pareto tail.
+
+    §8.2's request sizes concentrate on a few values (512 and 4096 bytes
+    for reads) but §7 finds heavy tails in the buffer sizes too; a small
+    tail probability supplies the power-law outliers.
+    """
+
+    def __init__(self, pairs, tail_probability: float, tail: Pareto,
+                 tail_cap: float) -> None:
+        self.choice = Choice(pairs)
+        self.tail_probability = tail_probability
+        self.tail = tail
+        self.tail_cap = tail_cap
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.tail_probability:
+            return min(self.tail.sample(rng), self.tail_cap)
+        return self.choice.sample(rng)
+
+
+# Request-size preferences (§8.2): reads concentrate on 512 and 4096 bytes
+# with very small and very large outliers; write sizes are more diverse in
+# the sub-1024 range.
+READ_SIZES = TailedChoice([
+    (2, 2), (4, 2), (8, 2), (512, 30), (1024, 5), (4096, 29), (8192, 6),
+    (16384, 5), (49152, 5), (65536, 8), (131072, 4), (262144, 2),
+], tail_probability=0.08, tail=Pareto(1.3, 16384), tail_cap=4 * 1024 * 1024)
+WRITE_SIZES = TailedChoice([
+    (64, 6), (128, 7), (200, 4), (256, 8), (512, 9), (700, 5), (1024, 8),
+    (2048, 6), (4096, 20), (8192, 8), (16384, 6), (65536, 8), (262144, 3),
+    (1048576, 2),
+], tail_probability=0.08, tail=Pareto(1.3, 8192), tail_cap=4 * 1024 * 1024)
+
+# Heavy-tailed inter-burst think time (seconds) and session lengths.
+_THINK = Pareto(alpha=1.4, xm=0.4)
+_SESSION_STEPS = Pareto(alpha=1.5, xm=3.0)
+_DLL_COUNT = Pareto(alpha=1.4, xm=2.0)
+
+
+@dataclass
+class AppContext:
+    """Everything a running application model needs."""
+
+    machine: "Machine"
+    process: "Process"
+    catalog: ContentCatalog
+    rng: np.random.Generator
+    drive: str = "C:"
+    remote_prefix: str = ""
+    remote_catalog: Optional[ContentCatalog] = None
+    _unique: int = field(default=0)
+
+    @property
+    def win32(self):
+        return self.machine.win32
+
+    @property
+    def now(self) -> int:
+        return self.machine.clock.now
+
+    def local(self, rel_path: str) -> str:
+        return self.drive + rel_path
+
+    def unique_name(self, prefix: str, ext: str) -> str:
+        self._unique += 1
+        return f"{prefix}{self.process.pid}_{self._unique:05d}.{ext}"
+
+    # Small intra-burst gaps advance the clock directly (the CPU is busy
+    # in the application between its requests).
+    def pause_micros(self, micros: float) -> None:
+        self.machine.clock.advance(ticks_from_micros(max(0.0, micros)))
+
+    def pause_millis(self, millis: float) -> None:
+        self.machine.clock.advance(ticks_from_millis(max(0.0, millis)))
+
+    # ------------------------------------------------------------------ #
+    # Composite operations.
+
+    def read_whole(self, handle: int, chunk: int, max_ops: int = 4000) -> int:
+        """Sequential whole-file read in fixed chunks; returns bytes read.
+
+        Applications usually know the file size (from the open or a query)
+        and stop at it; a small fraction reads until the end-of-file error
+        instead, which is the paper's entire read-error population (§8.4).
+        """
+        w = self.win32
+        fo = self.process.handles.get(handle)
+        size = fo.node.size if fo is not None and fo.node is not None else None
+        probe_eof = size is None or self.rng.random() < 0.02
+        total = 0
+        for _ in range(max_ops):
+            if not probe_eof and size is not None and total >= size:
+                break
+            status, got = w.read_file(self.process, handle, chunk)
+            if status.is_error or got == 0:
+                break
+            total += got
+            self.pause_micros(float(self.rng.uniform(10, 60)))
+        return total
+
+    def write_stream(self, handle: int, total: int, chunk: int) -> int:
+        """Sequential write of ``total`` bytes in ``chunk`` pieces.
+
+        Writes arrive in batches of several requests (§8.2: 80% of write
+        interarrivals are under 30 us), so the chunk is capped to keep at
+        least a handful of requests per stream.
+        """
+        w = self.win32
+        chunk = max(64, min(chunk, max(64, total // 12)))
+        written = 0
+        while written < total:
+            piece = min(chunk, total - written)
+            status, got = w.write_file(self.process, handle, piece)
+            if status.is_error:
+                break
+            written += got
+            self.pause_micros(float(self.rng.uniform(1, 8)))
+        return written
+
+    def close_all(self) -> None:
+        """Close every handle the process still holds (process exit)."""
+        for handle in list(self.process.handles):
+            self.win32.close_handle(self.process, handle)
+
+
+class AppModel:
+    """Base application model."""
+
+    name = "app.exe"
+    interactive = False
+
+    def __init__(self, ctx: AppContext) -> None:
+        self.ctx = ctx
+        self.steps_remaining = max(1, int(_SESSION_STEPS.sample(ctx.rng)))
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        """Process start: load the executable image and its DLLs (§3.3)."""
+        ctx = self.ctx
+        cat = ctx.catalog
+        if cat.executables:
+            exe = cat.pick(ctx.rng, cat.executables)
+            ctx.win32.load_image(ctx.process, ctx.local(exe))
+        n_dlls = min(len(cat.dlls), int(_DLL_COUNT.sample(ctx.rng)))
+        for _ in range(n_dlls):
+            dll = cat.pick(ctx.rng, cat.dlls, zipf_s=1.1)
+            ctx.win32.load_image(ctx.process, ctx.local(dll))
+
+    def on_exit(self) -> None:
+        """Process exit: release whatever is still open."""
+        self.ctx.close_all()
+        self.ctx.process.alive = False
+
+    def step(self) -> Optional[int]:
+        """One burst; returns the next wake tick, or None when done."""
+        if self.steps_remaining <= 0:
+            return None
+        self.steps_remaining -= 1
+        self.burst()
+        if self.steps_remaining <= 0:
+            return None
+        think = float(_THINK.sample(self.ctx.rng))
+        return self.ctx.now + ticks_from_seconds(min(think, 600.0))
+
+    def burst(self) -> None:
+        raise NotImplementedError
+
+
+class NotepadApp(AppModel):
+    """Text editing with the famous 26-call save sequence (§1)."""
+
+    name = "notepad.exe"
+    interactive = True
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.documents:
+            return
+        doc = ctx.local(ctx.catalog.pick(ctx.rng, cat.documents))
+        # Open and read the document.
+        status, handle = w.create_file(p, doc)
+        if status.is_error or handle is None:
+            return
+        ctx.read_whole(handle, 4096)
+        w.close_handle(p, handle)
+        # "Think" while typing; then the save storm.
+        ctx.pause_millis(float(ctx.rng.uniform(3, 40)))
+        self._save_storm(doc)
+
+    def _save_storm(self, doc: str) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        # Three failed open attempts (existence probes on variants).
+        for suffix in ("~", ".bak", ".sav"):
+            status, handle = w.create_file(p, doc + suffix)
+            if status.is_success and handle is not None:
+                w.close_handle(p, handle)
+        # Write to a temp file first.
+        temp_path = ctx.local(
+            ctx.catalog.temp_dir + "\\" + ctx.unique_name("note", "tmp"))
+        status, handle = w.create_file(
+            p, temp_path, access=FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.OVERWRITE_IF)
+        if status.is_success and handle is not None:
+            ctx.write_stream(handle, int(ctx.rng.uniform(200, 30_000)), 4096)
+            w.close_handle(p, handle)
+        # Overwrite the original (1 file overwrite).
+        status, handle = w.create_file(
+            p, doc, access=FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.OVERWRITE_IF)
+        if status.is_success and handle is not None:
+            ctx.write_stream(handle, int(ctx.rng.uniform(200, 30_000)), 4096)
+            w.close_handle(p, handle)
+        # Four additional open/close sequences (attribute chatter).
+        w.get_file_attributes(p, doc)
+        w.get_file_attributes(p, doc)
+        status, handle = w.create_file(p, doc)
+        if status.is_success and handle is not None:
+            w.query_standard_information(p, handle)
+            w.close_handle(p, handle)
+        status, handle = w.create_file(p, doc)
+        if status.is_success and handle is not None:
+            w.close_handle(p, handle)
+        # The temp file dies an explicit death shortly after its close.
+        ctx.pause_millis(float(ctx.rng.uniform(50, 2500)))
+        w.delete_file(p, temp_path)
+
+
+class ExplorerApp(AppModel):
+    """The GUI shell: almost pure control and directory traffic."""
+
+    name = "explorer.exe"
+    interactive = True
+
+    def __init__(self, ctx: AppContext) -> None:
+        super().__init__(ctx)
+        # Explorer runs for the whole user session.
+        self.steps_remaining = 10 ** 9
+        self._watch_handle = None
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        for _ in range(int(ctx.rng.integers(1, 5))):
+            if not cat.directories:
+                break
+            directory = ctx.local(
+                cat.directories[int(ctx.rng.integers(len(cat.directories)))])
+            # The shell probes for per-folder settings before enumerating;
+            # these probes usually fail (§8.4's not-found population).
+            if ctx.rng.random() < 0.4:
+                status, handle = w.create_file(p, directory + r"\desktop.ini")
+                if status.is_success and handle is not None:
+                    w.close_handle(p, handle)
+            w.find_files(p, directory, max_entries=512)
+            ctx.pause_millis(float(ctx.rng.uniform(1, 15)))
+        # Attribute queries on a handful of entries.
+        pool = cat.documents or cat.executables
+        for _ in range(int(ctx.rng.integers(1, 5))):
+            if not pool:
+                break
+            w.get_file_attributes(p, ctx.local(ctx.catalog.pick(ctx.rng, pool)))
+        if ctx.rng.random() < 0.3:
+            w.get_disk_free_space(p, ctx.drive[0])
+        # Keep a change notification armed on the directory being viewed
+        # (the shell's auto-refresh mechanism).
+        if ctx.rng.random() < 0.3 and cat.directories:
+            if self._watch_handle is not None \
+                    and self._watch_handle in p.handles:
+                w.close_handle(p, self._watch_handle)
+            directory = ctx.local(
+                cat.directories[int(ctx.rng.integers(len(cat.directories)))])
+            status, handle = w.create_file(
+                p, directory, access=FileAccess.READ_ATTRIBUTES,
+                disposition=CreateDisposition.OPEN,
+                options=CreateOptions.DIRECTORY_FILE)
+            if status.is_success and handle is not None:
+                w.watch_directory(p, handle)
+                self._watch_handle = handle
+        # Occasionally read a .lnk / .ini-sized file; a few of these opens
+        # carry the sequential-only hint on files far too small for it to
+        # matter (§9.1: 99% of flagged files were under the read-ahead
+        # unit, 80% under a page).
+        if ctx.rng.random() < 0.6 and cat.documents:
+            path = ctx.local(ctx.catalog.pick(ctx.rng, cat.documents))
+            options = (CreateOptions.SEQUENTIAL_ONLY
+                       if ctx.rng.random() < 0.08 else CreateOptions.NONE)
+            status, handle = w.create_file(p, path, options=options)
+            if status.is_success and handle is not None:
+                ctx.read_whole(handle, 512, max_ops=10)
+                w.close_handle(p, handle)
+
+
+class CompilerApp(AppModel):
+    """Build system: header storms, object writes, big dev-state files."""
+
+    name = "cl.exe"
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.sources or not cat.headers:
+            return
+        # Compile a translation unit: read the source and a heavy-tailed
+        # number of headers, whole-file sequential.
+        src = ctx.local(ctx.catalog.pick(ctx.rng, cat.sources))
+        status, handle = w.create_file(p, src)
+        if status.is_success and handle is not None:
+            ctx.read_whole(handle, 4096)
+            w.close_handle(p, handle)
+        n_headers = min(len(cat.headers),
+                        int(Pareto(1.3, 4.0).sample(ctx.rng)))
+        for _ in range(n_headers):
+            header = ctx.local(ctx.catalog.pick(ctx.rng, cat.headers, zipf_s=1.2))
+            status, handle = w.create_file(p, header)
+            if status.is_success and handle is not None:
+                ctx.read_whole(handle, 4096)
+                w.close_handle(p, handle)
+        # Write the object file, then overwrite it moments later (a fixup
+        # pass) — the §6.3 delete-by-overwrite population.
+        if cat.objects:
+            obj = ctx.local(ctx.catalog.pick(ctx.rng, cat.objects))
+            # Probe with CREATE first (collision when the object exists),
+            # then write; half the time a fixup pass overwrites the fresh
+            # output within milliseconds (§6.3's overwrite population).
+            status, handle = w.create_file(
+                p, obj, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.CREATE)
+            if status.is_error:
+                status, handle = w.create_file(
+                    p, obj, access=FileAccess.GENERIC_WRITE,
+                    disposition=CreateDisposition.OVERWRITE_IF)
+            passes = 2 if ctx.rng.random() < 0.5 else 1
+            for attempt in range(passes):
+                if status.is_success and handle is not None:
+                    size = int(LogNormal(14_000, 1.0).sample(ctx.rng))
+                    ctx.write_stream(handle, size,
+                                     int(WRITE_SIZES.sample(ctx.rng)))
+                    w.close_handle(p, handle)
+                if attempt + 1 < passes:
+                    ctx.pause_millis(float(ctx.rng.uniform(0.5, 4.0)))
+                    status, handle = w.create_file(
+                        p, obj, access=FileAccess.GENERIC_WRITE,
+                        disposition=CreateDisposition.OVERWRITE_IF)
+        # Compiler temp files: created with the temporary attribute and
+        # delete-on-close (§6.3's third deletion source — a 1% sliver).
+        if ctx.rng.random() < 0.08:
+            path = ctx.local(ctx.catalog.temp_dir + "\\" +
+                             ctx.unique_name("cl", "tmp"))
+            status, handle = w.create_file(
+                p, path,
+                access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.CREATE,
+                options=CreateOptions.DELETE_ON_CLOSE,
+                attributes=FileAttributes.TEMPORARY)
+            if status.is_success and handle is not None:
+                ctx.write_stream(handle, int(ctx.rng.uniform(2048, 65536)),
+                                 4096)
+                w.close_handle(p, handle)
+        # Periodically rewrite the precompiled header / incremental link
+        # state: the 5–8 MB files behind the paper's peak throughput.
+        if ctx.rng.random() < 0.3 and cat.dev_outputs:
+            big = ctx.local(ctx.catalog.pick(ctx.rng, cat.dev_outputs))
+            status, handle = w.create_file(p, big)
+            if status.is_success and handle is not None:
+                ctx.read_whole(handle, 65536, max_ops=130)
+                w.close_handle(p, handle)
+            status, handle = w.create_file(
+                p, big, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.OVERWRITE_IF)
+            if status.is_success and handle is not None:
+                size = int(ctx.rng.uniform(5e6, 8e6))
+                ctx.write_stream(handle, size, 65536)
+                w.close_handle(p, handle)
+
+
+class WebBrowserApp(AppModel):
+    """WWW-cache churn: the dominant source of profile changes (§5).
+
+    Marked non-interactive: the browser's file traffic is issued by its
+    cache-maintenance machinery, driven by page structure rather than by
+    direct user input — the §7 argument for why >92% of accesses come from
+    processes outside direct user control.
+    """
+
+    name = "iexplore.exe"
+    interactive = False
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        cache_dir = cat.web_cache_dir
+        if not cache_dir:
+            return
+        # One "page": create a few cache entries, revisit a few old ones.
+        n_new = int(ctx.rng.integers(1, 6))
+        for _ in range(n_new):
+            ext = ["htm", "gif", "jpg", "css"][int(ctx.rng.integers(4))]
+            # Occasionally reuse an existing cache name with CREATE, which
+            # fails with a name collision (§8.4's 31% of open failures)
+            # before falling back to an overwrite.
+            if cat.web_cache and ctx.rng.random() < 0.4:
+                path = ctx.local(ctx.catalog.pick(ctx.rng, cat.web_cache))
+                status, handle = w.create_file(
+                    p, path, access=FileAccess.GENERIC_WRITE,
+                    disposition=CreateDisposition.CREATE)
+                if status.is_error:
+                    status, handle = w.create_file(
+                        p, path, access=FileAccess.GENERIC_WRITE,
+                        disposition=CreateDisposition.OVERWRITE_IF)
+                if status.is_success and handle is not None:
+                    size = int(LogNormal(5_000, 1.4).sample(ctx.rng))
+                    ctx.write_stream(handle, size,
+                                     int(WRITE_SIZES.sample(ctx.rng)))
+                    w.close_handle(p, handle)
+                continue
+            path = ctx.local(cache_dir + "\\" + ctx.unique_name("cache", ext))
+            status, handle = w.create_file(
+                p, path, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.CREATE)
+            if status.is_error or handle is None:
+                continue
+            size = int(LogNormal(6_000, 1.4).sample(ctx.rng))
+            ctx.write_stream(handle, size, int(WRITE_SIZES.sample(ctx.rng)))
+            w.close_handle(p, handle)
+            cat.web_cache.append(path[len(ctx.drive):])
+            # Some entries are immediately re-fetched and overwritten —
+            # within milliseconds of creation (§6.3's 4 ms overwrite mass).
+            if ctx.rng.random() < 0.45:
+                ctx.pause_millis(float(ctx.rng.uniform(0.1, 1.0)))
+                status, handle = w.create_file(
+                    p, path, access=FileAccess.GENERIC_WRITE,
+                    disposition=CreateDisposition.OVERWRITE_IF)
+                if status.is_success and handle is not None:
+                    ctx.write_stream(handle, size,
+                                     int(WRITE_SIZES.sample(ctx.rng)))
+                    w.close_handle(p, handle)
+        # Revisit: read cached entries (cache-hit candidates).
+        for _ in range(int(ctx.rng.integers(2, 9))):
+            if not cat.web_cache:
+                break
+            path = ctx.local(ctx.catalog.pick(ctx.rng, cat.web_cache))
+            status, handle = w.create_file(p, path)
+            if status.is_success and handle is not None:
+                chunk = int(ctx.rng.choice([512, 1024, 2048]))
+                ctx.read_whole(handle, chunk, max_ops=60)
+                w.close_handle(p, handle)
+        # Cache eviction: explicit deletes, mostly a second or two after
+        # the entries were written, with a heavy-tailed laggard population
+        # (§6.3: 72% of explicit deletes within 4 s, top 10% much later).
+        if len(cat.web_cache) > 50 and ctx.rng.random() < 0.5:
+            delay_ms = float(min(Pareto(1.3, 300.0).sample(ctx.rng), 4000.0))
+            ctx.pause_millis(delay_ms)
+            for _ in range(int(ctx.rng.integers(1, 5))):
+                victim = cat.web_cache.pop(
+                    int(ctx.rng.integers(len(cat.web_cache))))
+                w.delete_file(p, ctx.local(victim))
+        # Failed or abandoned downloads: scratch files that die an explicit
+        # death a second or two after creation (§6.3's fast deletes).
+        if ctx.rng.random() < 0.5:
+            scratch = ctx.local(ctx.catalog.temp_dir + "\\" +
+                                ctx.unique_name("dl", "tmp"))
+            status, handle = w.create_file(
+                p, scratch, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.CREATE)
+            if status.is_success and handle is not None:
+                ctx.write_stream(handle, int(ctx.rng.uniform(512, 40_000)),
+                                 2048)
+                w.close_handle(p, handle)
+                ctx.pause_millis(float(ctx.rng.uniform(300, 2500)))
+                w.delete_file(p, scratch)
+        # History file update: read-write random access.
+        if ctx.rng.random() < 0.5:
+            hist = ctx.local(cat.profile_dir + r"\history\history.dat")
+            status, handle = w.create_file(
+                p, hist, access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.OPEN_IF)
+            if status.is_success and handle is not None:
+                for _ in range(int(ctx.rng.integers(2, 7))):
+                    offset = int(ctx.rng.integers(0, 200_000))
+                    w.read_file(p, handle, 512, offset=offset)
+                    w.write_file(p, handle, 512, offset=offset)
+                w.close_handle(p, handle)
+
+
+class MailApp(AppModel):
+    """Mail client: random read-write mailbox access, eager flushing.
+
+    Non-interactive: mailbox I/O is issued by the client's background
+    synchronisation and polling threads (§7's process-controlled traffic).
+    """
+
+    name = "outlook.exe"
+    interactive = False
+
+    def __init__(self, ctx: AppContext) -> None:
+        super().__init__(ctx)
+        # 87% of flush-using applications flush after every write (§9.2).
+        self.flushes_every_write = ctx.rng.random() < 0.87
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.mail_files:
+            return
+        box = ctx.local(ctx.catalog.pick(ctx.rng, cat.mail_files))
+        # Probe for a lock file (§8.4's not-found population), then take
+        # the lock: a zero-byte marker file, explicitly deleted seconds
+        # later — most of §6.3's under-100-byte fast-delete mass.
+        status, handle = w.create_file(p, box + ".lock")
+        if status.is_success and handle is not None:
+            w.close_handle(p, handle)
+        lock_held = False
+        status, handle = w.create_file(
+            p, box + ".lock", access=FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.CREATE)
+        if status.is_success and handle is not None:
+            w.close_handle(p, handle)
+            lock_held = True
+        # A third of sessions just browse (read-only random access).
+        browsing = ctx.rng.random() < 0.35
+        access = (FileAccess.GENERIC_READ if browsing
+                  else FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE)
+        status, handle = w.create_file(
+            p, box, access=access, disposition=CreateDisposition.OPEN_IF)
+        if status.is_error or handle is None:
+            return
+        fo = w.file_object(p, handle)
+        size = fo.node.size if fo.node is not None else 0
+        # Read a batch of messages at random offsets (mostly cache-cold on
+        # a large mailbox).
+        for _ in range(int(ctx.rng.integers(10, 30))):
+            offset = int(ctx.rng.integers(0, max(1, size)))
+            w.read_file(p, handle, int(READ_SIZES.sample(ctx.rng)),
+                        offset=offset)
+            ctx.pause_micros(float(ctx.rng.uniform(30, 400)))
+        if not browsing:
+            # Append new messages; flush behaviour per §9.2.
+            for _ in range(int(ctx.rng.integers(1, 5))):
+                w.write_file(p, handle, int(WRITE_SIZES.sample(ctx.rng)),
+                             offset=size)
+                if self.flushes_every_write:
+                    w.flush_file_buffers(p, handle)
+        w.close_handle(p, handle)
+        if lock_held:
+            ctx.pause_millis(float(ctx.rng.uniform(200, 2000)))
+            w.delete_file(p, box + ".lock")
+        # New-mail polling: attribute-only opens.
+        w.get_file_attributes(p, box)
+
+
+class WinlogonApp(AppModel):
+    """Profile download at logon; changed files migrate back at logoff."""
+
+    name = "winlogon.exe"
+
+    def __init__(self, ctx: AppContext) -> None:
+        super().__init__(ctx)
+        self.steps_remaining = 1
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.profile_dir:
+            return
+        # Download: create/overwrite a batch of profile files locally
+        # (sourced from the profile server — modelled as remote reads when
+        # a share is mounted).
+        n_files = int(min(200, Pareto(1.3, 15).sample(ctx.rng)))
+        for i in range(n_files):
+            if ctx.remote_catalog is not None and ctx.remote_catalog.documents \
+                    and ctx.rng.random() < 0.5:
+                remote = ctx.remote_prefix + ctx.remote_catalog.pick(
+                    ctx.rng, ctx.remote_catalog.documents)
+                if ctx.rng.random() < 0.4:
+                    # CopyFile from the profile server to the local disk.
+                    local = ctx.local(cat.profile_dir + "\\" +
+                                      ctx.unique_name("sync", "dat"))
+                    w.copy_file(p, remote, local, chunk=16384)
+                else:
+                    status, handle = w.create_file(p, remote)
+                    if status.is_success and handle is not None:
+                        ctx.read_whole(handle, 4096, max_ops=30)
+                        w.close_handle(p, handle)
+            path = ctx.local(
+                cat.profile_dir + "\\" + ctx.unique_name("prof", "dat"))
+            status, handle = w.create_file(
+                p, path, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.OVERWRITE_IF)
+            if status.is_success and handle is not None:
+                size = int(LogNormal(4_000, 1.3).sample(ctx.rng))
+                ctx.write_stream(handle, size, 4096)
+                # Installer behaviour: stamp the creation (and access)
+                # time from the "installation medium" — files look years
+                # old on a brand-new file system, and the last-write time
+                # ends up more recent than the last access; the §5
+                # unreliable-timestamp effect.
+                if ctx.rng.random() < 0.5:
+                    w.set_file_times(p, handle, creation=1000,
+                                     last_access=1000)
+                w.close_handle(p, handle)
+
+
+class ServicesApp(AppModel):
+    """System services: handles held for the whole session (§8.1), and the
+    rare uncached/write-through opens (§9)."""
+
+    name = "services.exe"
+
+    def __init__(self, ctx: AppContext) -> None:
+        super().__init__(ctx)
+        self.steps_remaining = 10 ** 9
+        self._held: list[int] = []
+
+    def on_start(self) -> None:
+        super().on_start()
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        # Open a few long-lived files (the loadwc pattern).  Held with a
+        # read-only share mode, so other processes' write attempts hit
+        # STATUS_SHARING_VIOLATION (§8.4's residual failures).
+        from repro.common.flags import ShareMode
+        pool = ctx.catalog.documents
+        for _ in range(min(4, len(pool))):
+            path = ctx.local(ctx.catalog.pick(ctx.rng, pool))
+            status, handle = w.create_file(
+                p, path,
+                access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.OPEN_IF,
+                share=ShareMode.READ)
+            if status.is_success and handle is not None:
+                self._held.append(handle)
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        # Configuration polling: attribute-only opens on system files —
+        # pure control traffic from a non-interactive process (§8.3).
+        pool = ctx.catalog.dlls or ctx.catalog.documents
+        for _ in range(int(ctx.rng.integers(3, 8))):
+            if not pool:
+                break
+            w.get_file_attributes(p, ctx.local(ctx.catalog.pick(ctx.rng,
+                                                                pool)))
+        # Work the long-lived handles: read-write random.
+        for handle in self._held:
+            if ctx.rng.random() < 0.5:
+                continue
+            offset = int(ctx.rng.integers(0, 65536))
+            w.read_file(p, handle, 4096, offset=offset)
+            if ctx.rng.random() < 0.4:
+                w.write_file(p, handle, 4096, offset=offset)
+        # Service log append: a write-only partially-sequential session
+        # (the paper's write-only "other sequential" row of table 3).
+        log = ctx.local(r"\winnt\system32\services.log")
+        status, handle = (NtStatus.OBJECT_NAME_NOT_FOUND, None) \
+            if ctx.rng.random() >= 0.3 else w.create_file(
+                p, log, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.OPEN_IF)
+        if status.is_success and handle is not None:
+            fo = w.file_object(p, handle)
+            end = fo.node.size if fo.node is not None else 0
+            w.set_file_pointer(p, handle, end)
+            for _ in range(int(ctx.rng.integers(2, 6))):
+                w.write_file(p, handle, int(ctx.rng.choice([128, 256, 512])))
+            w.close_handle(p, handle)
+        # Status updates written in place: write-only random sessions
+        # (table 3's write-only random row).
+        if ctx.rng.random() < 0.35 and self._held:
+            pool = ctx.catalog.documents
+            if pool:
+                path = ctx.local(ctx.catalog.pick(ctx.rng, pool))
+                status, handle = w.create_file(
+                    p, path, access=FileAccess.GENERIC_WRITE,
+                    disposition=CreateDisposition.OPEN_IF)
+                if status.is_success and handle is not None:
+                    for _ in range(int(ctx.rng.integers(2, 5))):
+                        offset = int(ctx.rng.integers(0, 32768)) & ~0x1FF
+                        w.write_file(p, handle, 512, offset=offset)
+                    w.close_handle(p, handle)
+        # Kernel-service direct-memory reads (§10: "only kernel-based
+        # services use this functionality").
+        if ctx.rng.random() < 0.15 and ctx.catalog.dlls:
+            path = ctx.local(ctx.catalog.pick(ctx.rng, ctx.catalog.dlls))
+            status, handle = w.create_file(p, path)
+            if status.is_success and handle is not None:
+                w.read_file(p, handle, 4096)  # initialises caching
+                for _ in range(int(ctx.rng.integers(2, 6))):
+                    w.mdl_read(p, handle, 4096,
+                               offset=int(ctx.rng.integers(0, 8)) * 4096)
+                w.close_handle(p, handle)
+        # The cache-disabled, write-through system files (§9: 76% of
+        # uncached files belong to the system process; only ~1.4% of
+        # writing opens disable caching).
+        if ctx.rng.random() < 0.05:
+            path = ctx.local(r"\winnt\system32\config" + "\\" +
+                             ctx.unique_name("reg", "log"))
+            status, handle = w.create_file(
+                p, path, access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.OPEN_IF,
+                options=(CreateOptions.NO_INTERMEDIATE_BUFFERING
+                         | CreateOptions.WRITE_THROUGH))
+            if status.is_success and handle is not None:
+                for _ in range(int(ctx.rng.integers(1, 5))):
+                    w.write_file(p, handle, 4096)
+                    w.read_file(p, handle, 4096, offset=0)
+                w.close_handle(p, handle)
+
+
+class JavaToolApp(AppModel):
+    """Java tooling: class files read 2–4 bytes at a time (§10)."""
+
+    name = "javac.exe"
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.class_files:
+            return
+        for _ in range(int(ctx.rng.integers(1, 4))):
+            path = ctx.local(ctx.catalog.pick(ctx.rng, cat.class_files))
+            status, handle = w.create_file(p, path)
+            if status.is_error or handle is None:
+                continue
+            # Hundreds of tiny reads for a single class file, stopping at
+            # the known size.
+            fo = w.file_object(p, handle)
+            size = fo.node.size if fo.node is not None else 0
+            n_reads = int(min(400, ctx.rng.uniform(50, 300)))
+            chunk = int(ctx.rng.choice([2, 4]))
+            total = 0
+            for _ in range(n_reads):
+                if total >= size:
+                    break
+                status, got = w.read_file(p, handle, chunk)
+                if status.is_error or got == 0:
+                    break
+                total += got
+            w.close_handle(p, handle)
+
+
+class BigBufferMailerApp(AppModel):
+    """A non-Microsoft mailer writing through a single 4 MB buffer (§10)."""
+
+    name = "bigmailer.exe"
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        path = ctx.local(ctx.catalog.profile_dir + "\\" +
+                         ctx.unique_name("spool", "mbx"))
+        status, handle = w.create_file(
+            p, path, access=FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.CREATE)
+        if status.is_error or handle is None:
+            return
+        w.write_file(p, handle, 4 * 1024 * 1024)
+        w.close_handle(p, handle)
+        ctx.pause_millis(float(ctx.rng.uniform(100, 3000)))
+        w.delete_file(p, path)
+
+
+class ScientificApp(AppModel):
+    """Simulation/statistics: huge files, small mapped-view reads (§6.1)."""
+
+    name = "simulate.exe"
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.datasets:
+            return
+        path = ctx.local(ctx.catalog.pick(ctx.rng, cat.datasets))
+        status, handle = w.create_file(p, path)
+        if status.is_error or handle is None:
+            return
+        fo = w.file_object(p, handle)
+        size = fo.node.size if fo.node is not None else 0
+        # Read small portions through a mapped view.
+        for _ in range(int(ctx.rng.integers(2, 7))):
+            offset = int(ctx.rng.integers(0, max(1, size)))
+            length = int(ctx.rng.uniform(65536, 1_048_576))
+            w.fault_view(p, handle, offset, min(length, max(0, size - offset)))
+            ctx.pause_millis(float(ctx.rng.uniform(2, 30)))
+        w.close_handle(p, handle)
+        # Write a results file; small files sometimes get the
+        # sequential-only hint even though it cannot help (§9.1).
+        out = ctx.local(r"\data\results" + "\\" + ctx.unique_name("run", "dat"))
+        options = CreateOptions.NONE
+        if ctx.rng.random() < 0.3:
+            options |= CreateOptions.SEQUENTIAL_ONLY
+        status, handle = w.create_file(
+            p, out, access=FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.OVERWRITE_IF, options=options)
+        if status.is_success and handle is not None:
+            size = int(LogNormal(20_000, 1.2).sample(ctx.rng))
+            ctx.write_stream(handle, size, 4096)
+            w.close_handle(p, handle)
+
+
+class DbAdminApp(AppModel):
+    """Administrative database work: random I/O, temporary sort files."""
+
+    name = "dbadmin.exe"
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        if not cat.databases:
+            return
+        db = ctx.local(ctx.catalog.pick(ctx.rng, cat.databases))
+        status, handle = w.create_file(
+            p, db, access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.OPEN_IF)
+        if status.is_error or handle is None:
+            return
+        fo = w.file_object(p, handle)
+        size = fo.node.size if fo.node is not None else 0
+        for _ in range(int(ctx.rng.integers(4, 20))):
+            offset = int(ctx.rng.integers(0, max(1, size))) & ~0xFFF
+            w.read_file(p, handle, int(ctx.rng.choice([4096, 8192, 16384])),
+                        offset=offset)
+            if ctx.rng.random() < 0.4:
+                # Updates hold a byte-range lock over the page.
+                w.lock_file(p, handle, offset, 4096)
+                w.write_file(p, handle, 4096, offset=offset)
+                w.unlock_file(p, handle, offset, 4096)
+            ctx.pause_micros(float(ctx.rng.uniform(50, 600)))
+        w.close_handle(p, handle)
+        # Temporary sort file: TEMPORARY attribute + delete-on-close —
+        # the 1% of §6.3 deletions, and the unwritten-data saving.
+        if ctx.rng.random() < 0.15:
+            path = ctx.local(ctx.catalog.temp_dir + "\\" +
+                             ctx.unique_name("sort", "tmp"))
+            status, handle = w.create_file(
+                p, path, access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.CREATE,
+                options=CreateOptions.DELETE_ON_CLOSE,
+                attributes=FileAttributes.TEMPORARY)
+            if status.is_success and handle is not None:
+                ctx.write_stream(handle, int(ctx.rng.uniform(8192, 262144)),
+                                 8192)
+                w.read_file(p, handle, 8192, offset=0)
+                w.close_handle(p, handle)
+        # Transaction log append with explicit flushing.
+        log = ctx.local(r"\users\db\txn.log" if not cat.datasets
+                        else r"\data\db\txn.log")
+        status, handle = w.create_file(
+            p, log, access=FileAccess.GENERIC_WRITE,
+            disposition=CreateDisposition.OPEN_IF)
+        if status.is_success and handle is not None:
+            fo = w.file_object(p, handle)
+            end = fo.node.size if fo.node is not None else 0
+            w.write_file(p, handle, 512, offset=end)
+            w.flush_file_buffers(p, handle)
+            w.close_handle(p, handle)
+
+
+class FrontPageApp(AppModel):
+    """HTML editor: "never keeps files open for longer than a few
+    milliseconds" (§8.1) — every edit is an open, a fast transfer, and an
+    immediate close."""
+
+    name = "frontpage.exe"
+    interactive = True
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        cat = ctx.catalog
+        pool = cat.web_cache or cat.documents
+        if not pool:
+            return
+        for _ in range(int(ctx.rng.integers(2, 8))):
+            path = ctx.local(ctx.catalog.pick(ctx.rng, pool))
+            status, handle = w.create_file(p, path)
+            if status.is_success and handle is not None:
+                ctx.read_whole(handle, 4096, max_ops=12)
+                w.close_handle(p, handle)
+            # Save the edit: a whole-file overwrite, open held only for
+            # the duration of the transfer.
+            if ctx.rng.random() < 0.5:
+                status, handle = w.create_file(
+                    p, path, access=FileAccess.GENERIC_WRITE,
+                    disposition=CreateDisposition.OVERWRITE_IF)
+                if status.is_success and handle is not None:
+                    size = int(LogNormal(6_000, 1.0).sample(ctx.rng))
+                    ctx.write_stream(handle, size, 2048)
+                    w.close_handle(p, handle)
+            ctx.pause_millis(float(ctx.rng.uniform(1, 10)))
+
+
+class InstallerApp(AppModel):
+    """Application-package installation (§5).
+
+    Installs are the churn peaks outside the profile tree: hundreds of
+    files created under \\Program Files in one burst, their creation
+    times stamped from the installation medium (the §5 backdated-
+    timestamp effect), plus a registration pass of attribute probes.
+    """
+
+    name = "setup.exe"
+    interactive = True
+
+    def __init__(self, ctx: AppContext) -> None:
+        super().__init__(ctx)
+        self.steps_remaining = 1  # one install per session
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        package = f"pkg{p.pid % 97:02d}"
+        base = rf"\program files\{package}"
+        w.create_directory(p, ctx.local(base))
+        n_files = int(min(250, Pareto(1.2, 25).sample(ctx.rng)))
+        extensions = ["dll", "exe", "hlp", "dat", "ini"]
+        for i in range(n_files):
+            ext = extensions[i % len(extensions)]
+            path = ctx.local(rf"{base}\inst{i:03d}.{ext}")
+            status, handle = w.create_file(
+                p, path, access=FileAccess.GENERIC_WRITE,
+                disposition=CreateDisposition.CREATE)
+            if status.is_error or handle is None:
+                continue
+            size = int(LogNormal(20_000, 1.4).sample(ctx.rng))
+            ctx.write_stream(handle, size, 16384)
+            # Stamp times from the distribution medium.
+            w.set_file_times(p, handle, creation=500, last_access=500)
+            w.close_handle(p, handle)
+            if ext in ("dll", "exe"):
+                ctx.catalog.dlls.append(path[len(ctx.drive):])
+        # Registration pass: verify what was installed.
+        for i in range(0, n_files, 7):
+            w.get_file_attributes(
+                p, ctx.local(rf"{base}\inst{i:03d}.dll"))
+        ctx.catalog.directories.append(base)
+
+
+APP_REGISTRY: dict[str, type[AppModel]] = {
+    cls.name: cls
+    for cls in (NotepadApp, ExplorerApp, CompilerApp, WebBrowserApp, MailApp,
+                WinlogonApp, ServicesApp, JavaToolApp, BigBufferMailerApp,
+                ScientificApp, DbAdminApp, FrontPageApp, InstallerApp)
+}

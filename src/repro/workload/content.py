@@ -1,0 +1,316 @@
+r"""Initial file-system content (§5's shapes).
+
+Local volumes: a \winnt tree whose executables, DLLs and fonts dominate the
+size distribution; per-user profile trees (\winnt\profiles\<user>) holding
+mail files and a WWW cache of thousands of small files; application
+packages under \Program Files (developer machines get an SDK-like package
+that shifts type counts); and a small set of local user documents.
+
+Sizes are drawn per file type from lognormal bodies with Pareto tails, so
+the §5/§7 findings (heavy-tailed sizes, type-dominated tails) are emergent.
+The generated tree is also returned as a :class:`ContentCatalog` so the
+application models can pick realistic targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.flags import FileAttributes
+from repro.nt.fs.nodes import DirectoryNode, FileNode
+from repro.nt.fs.path import split_path
+from repro.nt.fs.volume import Volume
+from repro.stats.distributions import LogNormal, Pareto, Sampler
+
+
+class TypeSize(Sampler):
+    """Per-file-type size model: lognormal body with a Pareto tail."""
+
+    def __init__(self, median: float, sigma: float,
+                 tail_probability: float = 0.0, tail_alpha: float = 1.3,
+                 tail_xm: float = 1e6) -> None:
+        self.body = LogNormal(median, sigma)
+        self.tail_probability = tail_probability
+        self.tail = Pareto(tail_alpha, tail_xm) if tail_probability > 0 else None
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.tail is not None and rng.random() < self.tail_probability:
+            return min(self.tail.sample(rng), 400e6)
+        return self.body.sample(rng)
+
+
+# Size models per file type (bytes).  Executables, DLLs and fonts carry the
+# big tails; web-cache and source files are small.
+FILE_TYPE_SIZES: dict[str, TypeSize] = {
+    "exe": TypeSize(45_000, 1.5, tail_probability=0.10, tail_alpha=1.2,
+                    tail_xm=2e6),
+    "dll": TypeSize(55_000, 1.6, tail_probability=0.12, tail_alpha=1.25,
+                    tail_xm=1.5e6),
+    "sys": TypeSize(22_000, 1.0),
+    "drv": TypeSize(18_000, 1.0),
+    "ttf": TypeSize(70_000, 1.1, tail_probability=0.08, tail_alpha=1.4,
+                    tail_xm=1e6),
+    "fon": TypeSize(40_000, 0.8),
+    "hlp": TypeSize(60_000, 1.3),
+    "ini": TypeSize(1_500, 1.0),
+    "txt": TypeSize(3_000, 1.3),
+    "doc": TypeSize(10_000, 1.0, tail_probability=0.04, tail_alpha=1.5,
+                    tail_xm=1e6),
+    "xls": TypeSize(22_000, 1.2),
+    "ppt": TypeSize(180_000, 1.1, tail_probability=0.05, tail_alpha=1.4,
+                    tail_xm=2e6),
+    "htm": TypeSize(5_500, 1.2),
+    "gif": TypeSize(3_500, 1.3),
+    "jpg": TypeSize(14_000, 1.2),
+    "css": TypeSize(2_000, 0.8),
+    "js": TypeSize(3_500, 1.0),
+    "c": TypeSize(5_000, 1.1),
+    "h": TypeSize(3_000, 1.1),
+    "cpp": TypeSize(6_500, 1.1),
+    "obj": TypeSize(14_000, 1.2),
+    "lib": TypeSize(220_000, 1.2, tail_probability=0.05, tail_alpha=1.4,
+                    tail_xm=2e6),
+    "pch": TypeSize(4_500_000, 0.5),
+    "ilk": TypeSize(2_500_000, 0.6),
+    "pdb": TypeSize(900_000, 0.9),
+    "mbx": TypeSize(6_000_000, 1.0, tail_probability=0.10, tail_alpha=1.3,
+                    tail_xm=16e6),
+    "pst": TypeSize(12_000_000, 0.8, tail_probability=0.10, tail_alpha=1.3,
+                    tail_xm=32e6),
+    "class": TypeSize(3_200, 0.8),
+    "jar": TypeSize(350_000, 1.0),
+    "mdb": TypeSize(1_800_000, 0.9, tail_probability=0.08, tail_alpha=1.3,
+                    tail_xm=8e6),
+    "log": TypeSize(40_000, 1.5),
+    "dat": TypeSize(30_000, 1.8, tail_probability=0.05, tail_alpha=1.3,
+                    tail_xm=2e6),
+    "tmp": TypeSize(8_000, 1.5),
+    "lnk": TypeSize(400, 0.3),
+    "cpl": TypeSize(35_000, 0.8),
+    "zip": TypeSize(900_000, 1.2, tail_probability=0.10, tail_alpha=1.3,
+                    tail_xm=5e6),
+    "bin": TypeSize(120_000_000, 0.6),   # scientific datasets
+}
+
+
+@dataclass
+class ContentCatalog:
+    """Paths the application models pick their targets from."""
+
+    executables: list[str] = field(default_factory=list)
+    dlls: list[str] = field(default_factory=list)
+    documents: list[str] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
+    headers: list[str] = field(default_factory=list)
+    objects: list[str] = field(default_factory=list)
+    dev_outputs: list[str] = field(default_factory=list)
+    web_cache: list[str] = field(default_factory=list)
+    mail_files: list[str] = field(default_factory=list)
+    class_files: list[str] = field(default_factory=list)
+    databases: list[str] = field(default_factory=list)
+    datasets: list[str] = field(default_factory=list)
+    directories: list[str] = field(default_factory=list)
+    profile_dir: str = ""
+    web_cache_dir: str = ""
+    temp_dir: str = ""
+    user_docs_dir: str = ""
+
+    def pick(self, rng: np.random.Generator, paths: list[str],
+             zipf_s: float = 0.9) -> str:
+        """Popularity-weighted (Zipf) choice from a path list."""
+        if not paths:
+            raise ValueError("empty path list")
+        weights = 1.0 / np.arange(1, len(paths) + 1, dtype=float) ** zipf_s
+        weights /= weights.sum()
+        return paths[int(rng.choice(len(paths), p=weights))]
+
+
+class _TreeBuilder:
+    """Creates directories and sized files directly on a volume."""
+
+    def __init__(self, volume: Volume, rng: np.random.Generator) -> None:
+        self.volume = volume
+        self.rng = rng
+        self.n_files = 0
+
+    def ensure_dir(self, path: str) -> DirectoryNode:
+        node = self.volume.root
+        walked = ""
+        for component in split_path(path):
+            walked += "\\" + component
+            child = node.lookup(component)
+            if child is None:
+                child = self.volume.create_directory(
+                    node, component, FileAttributes.DIRECTORY, now=0)
+            if not isinstance(child, DirectoryNode):
+                raise ValueError(f"{walked} exists and is a file")
+            node = child
+        return node
+
+    # Extensions stored NTFS-compressed (archives and large datasets).
+    COMPRESSED_EXTENSIONS = frozenset({"zip", "bin"})
+
+    def add_file(self, directory: DirectoryNode, name: str,
+                 size: int | None = None) -> FileNode:
+        ext = name.rsplit(".", 1)[-1].lower() if "." in name else "dat"
+        if size is None:
+            model = FILE_TYPE_SIZES.get(ext, FILE_TYPE_SIZES["dat"])
+            size = max(0, int(model.sample(self.rng)))
+        attributes = FileAttributes.NORMAL
+        if ext in self.COMPRESSED_EXTENSIONS and self.rng.random() < 0.5:
+            attributes |= FileAttributes.COMPRESSED
+        node = self.volume.create_file(directory, name, attributes, now=0)
+        self.volume.set_file_size(node, size, now=0)
+        node.valid_data_length = size
+        self.n_files += 1
+        return node
+
+    def populate(self, dir_path: str, count: int, extensions: list[str],
+                 prefix: str = "f") -> list[str]:
+        """Create ``count`` files cycling over ``extensions``; return paths."""
+        directory = self.ensure_dir(dir_path)
+        paths = []
+        for i in range(count):
+            ext = extensions[i % len(extensions)]
+            name = f"{prefix}{i:04d}.{ext}"
+            if directory.lookup(name) is not None:
+                continue
+            self.add_file(directory, name)
+            paths.append(f"{dir_path}\\{name}")
+        return paths
+
+
+def build_system_volume(volume: Volume, rng: np.random.Generator,
+                        username: str = "user",
+                        scale: float = 0.25,
+                        developer: bool = False,
+                        scientific: bool = False) -> ContentCatalog:
+    r"""Populate a local system volume and return its catalog.
+
+    ``scale=1.0`` approximates the paper's 24k–45k files per volume;
+    smaller scales keep study runs light while preserving the shapes.
+    Developer machines get an SDK-like package (the §5 type-count shift);
+    scientific machines get large datasets.
+    """
+    if not (0 < scale <= 1.0):
+        raise ValueError("scale must be in (0, 1]")
+    b = _TreeBuilder(volume, rng)
+    cat = ContentCatalog()
+
+    def n(base: int) -> int:
+        jittered = base * scale * rng.uniform(0.8, 1.25)
+        return max(2, int(jittered))
+
+    # \winnt core.
+    cat.executables += b.populate(r"\winnt", n(40), ["exe"], prefix="nt")
+    cat.executables += b.populate(r"\winnt\system32", n(360), ["exe"],
+                                  prefix="sys")
+    cat.dlls += b.populate(r"\winnt\system32", n(1400), ["dll"], prefix="lib")
+    b.populate(r"\winnt\system32\drivers", n(180), ["sys", "drv"])
+    b.populate(r"\winnt\system32\config", 6, ["log", "dat"], prefix="hive")
+    b.populate(r"\winnt\fonts", n(220), ["ttf", "fon"])
+    b.populate(r"\winnt\help", n(130), ["hlp", "txt"])
+    b.populate(r"\winnt\inf", n(150), ["ini", "inf" if False else "ini"])
+    cat.directories += [r"\winnt", r"\winnt\system32", r"\winnt\fonts"]
+
+    # The user profile (87%–99% of local user files live here, §5).
+    profile = rf"\winnt\profiles\{username}"
+    cat.profile_dir = profile
+    b.populate(rf"{profile}\desktop", n(20), ["lnk", "txt", "doc"])
+    b.populate(rf"{profile}\start menu", n(30), ["lnk"])
+    cat.mail_files += b.populate(
+        rf"{profile}\application data\mail", max(1, int(3 * scale + 1)),
+        ["mbx", "pst"], prefix="box")
+    web_dir = rf"{profile}\temporary internet files"
+    cat.web_cache_dir = web_dir
+    cat.web_cache += b.populate(
+        web_dir, n(2600), ["htm", "gif", "jpg", "css", "js"], prefix="cache")
+    b.populate(rf"{profile}\history", n(40), ["dat"])
+    b.populate(rf"{profile}\cookies", n(120), ["txt"])
+    cat.directories += [profile, web_dir]
+
+    # Application packages.
+    cat.executables += b.populate(r"\program files\office", n(25), ["exe"],
+                                  prefix="app")
+    cat.dlls += b.populate(r"\program files\office", n(160), ["dll"],
+                           prefix="mso")
+    cat.documents += b.populate(r"\program files\office\templates", n(60),
+                                ["doc", "xls", "ppt"])
+    b.populate(r"\program files\photoshop", n(90), ["dll", "exe", "dat"])
+    cat.directories += [r"\program files", r"\program files\office"]
+
+    if developer:
+        # A Platform-SDK-like package: 14,000 files in 1,300 directories at
+        # full scale (§5) — the package that shifts type counts.
+        sdk_files = n(1200)
+        per_dir = 11
+        for d in range(max(1, sdk_files // per_dir)):
+            sub = rf"\program files\platform sdk\include\sub{d:03d}"
+            cat.headers += b.populate(sub, per_dir, ["h"], prefix="sdk")
+        cat.sources += b.populate(r"\work\project", n(160), ["c", "cpp"],
+                                  prefix="mod")
+        cat.headers += b.populate(r"\work\project\include", n(120), ["h"],
+                                  prefix="proj")
+        cat.objects += b.populate(r"\work\project\obj", n(160), ["obj"],
+                                  prefix="mod")
+        cat.dev_outputs += b.populate(r"\work\project\out", 4,
+                                      ["pch", "ilk", "pdb", "lib"],
+                                      prefix="build")
+        cat.class_files += b.populate(r"\work\javaproj\classes", n(220),
+                                      ["class"], prefix="cls")
+        cat.class_files += b.populate(r"\work\javaproj\lib", 3, ["jar"])
+        cat.directories += [r"\work\project", r"\work\project\include",
+                            r"\work\javaproj\classes"]
+
+    if scientific:
+        cat.datasets += b.populate(r"\data", max(2, int(4 * scale + 1)),
+                                   ["bin"], prefix="dataset")
+        b.populate(r"\data\results", n(50), ["dat", "log"])
+        cat.directories += [r"\data", r"\data\results"]
+
+    # Local user documents (a minority of user files are local, §5).
+    cat.user_docs_dir = r"\users\docs"
+    cat.documents += b.populate(cat.user_docs_dir, n(80),
+                                ["doc", "xls", "txt"], prefix="doc")
+    # Scratch space lives inside the profile (NT's Local Settings\Temp),
+    # which is what concentrates churn under \winnt\profiles (§5).
+    cat.temp_dir = rf"{profile}\local settings\temp"
+    b.ensure_dir(cat.temp_dir)
+    cat.directories += [cat.user_docs_dir, cat.temp_dir]
+
+    cat.databases += b.populate(r"\data\db" if scientific else r"\users\db",
+                                max(1, int(2 * scale + 1)), ["mdb"],
+                                prefix="store")
+
+    # Size the volume so fullness lands in the paper's 54%–87% band
+    # (disks were bought to match their content's era).
+    fullness = rng.uniform(0.54, 0.87)
+    volume.capacity_bytes = max(int(volume.bytes_used / fullness),
+                                volume.bytes_used + (16 << 20))
+    return cat
+
+
+def build_user_share(volume: Volume, rng: np.random.Generator,
+                     username: str = "user", scale: float = 0.25
+                     ) -> ContentCatalog:
+    """Populate a network home-directory share (no uniformity, §5)."""
+    b = _TreeBuilder(volume, rng)
+    cat = ContentCatalog()
+    # Share sizes ranged 500 KB – 700 MB and 150 – 27,000 files (§5):
+    # draw the file count from a very wide lognormal.
+    count = int(min(27_000 * scale,
+                    max(20, LogNormal(400, 1.4).sample(rng) * scale * 4)))
+    cat.documents += b.populate(rf"\{username}\docs", count // 2,
+                                ["doc", "xls", "txt", "htm"], prefix="doc")
+    cat.sources += b.populate(rf"\{username}\src", count // 4,
+                              ["c", "h", "cpp"], prefix="src")
+    b.populate(rf"\{username}\archive", max(1, count // 8), ["zip", "dat"])
+    cat.user_docs_dir = rf"\{username}\docs"
+    cat.directories += [rf"\{username}", rf"\{username}\docs",
+                        rf"\{username}\src"]
+    fullness = rng.uniform(0.3, 0.8)
+    volume.capacity_bytes = max(int(volume.bytes_used / fullness),
+                                volume.bytes_used + (16 << 20))
+    return cat

@@ -1,0 +1,251 @@
+"""Study orchestration: the trace collection run.
+
+``run_study`` builds a fleet of machines across the paper's five usage
+categories (plus a network file server holding each user's home share),
+drives heavy-tailed application sessions on every machine, takes start and
+end snapshots, and returns the collectors — the equivalent of the paper's
+4-week, 45-machine data collection, scaled down in duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.common.clock import TICKS_PER_SECOND, ticks_from_seconds
+from repro.nt.fs.disk import SCSI_ULTRA2_DISK
+from repro.nt.fs.volume import Volume
+from repro.nt.tracing.collector import TraceCollector
+from repro.stats.distributions import OnOffProcess, Pareto
+from repro.workload.apps import AppContext, AppModel, ExplorerApp, ServicesApp, WinlogonApp
+from repro.workload.content import build_user_share
+from repro.workload.users import BuiltMachine, CATEGORY_PROFILES, build_machine
+
+# The paper's rough machine mix across the categories of §2.
+DEFAULT_CATEGORY_MIX: tuple[tuple[str, float], ...] = (
+    ("walkup", 0.25),
+    ("pool", 0.25),
+    ("personal", 0.30),
+    ("administrative", 0.10),
+    ("scientific", 0.10),
+)
+
+
+@dataclass
+class StudyConfig:
+    """Parameters of one trace collection run."""
+
+    n_machines: int = 6
+    duration_seconds: float = 240.0
+    seed: int = 1
+    content_scale: float = 0.2
+    category_mix: tuple[tuple[str, float], ...] = DEFAULT_CATEGORY_MIX
+    with_network_shares: bool = True
+    # Seconds of post-horizon drain so lazy closes land in the trace.
+    drain_seconds: float = 6.0
+    # Optional periodic snapshots between the start and end walks (the
+    # paper's daily 4 a.m. schedule, scaled to the study duration).
+    snapshot_interval_seconds: Optional[float] = None
+
+
+@dataclass
+class StudyResult:
+    """Everything a study produced, ready for the analysis warehouse."""
+
+    collectors: list[TraceCollector]
+    machine_categories: dict[str, str]
+    duration_ticks: int
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(c.records) for c in self.collectors)
+
+
+def _assign_categories(config: StudyConfig,
+                       rng: np.random.Generator) -> list[str]:
+    """Largest-remainder apportionment of machines to categories.
+
+    Guarantees every category with enough weight gets representation even
+    for small fleets (naive rounding drops the 10% categories entirely).
+    """
+    names = [name for name, _w in config.category_mix]
+    weights = np.array([w for _n, w in config.category_mix], dtype=float)
+    weights /= weights.sum()
+    exact = weights * config.n_machines
+    counts = np.floor(exact).astype(int)
+    remainders = exact - counts
+    short = config.n_machines - int(counts.sum())
+    for idx in np.argsort(-remainders)[:short]:
+        counts[idx] += 1
+    assigned: list[str] = []
+    for name, count in zip(names, counts):
+        assigned.extend([name] * int(count))
+    return assigned
+
+
+class _MachineWorkload:
+    """Schedules and pumps application sessions on one machine."""
+
+    def __init__(self, built: BuiltMachine, horizon: int,
+                 rng: np.random.Generator) -> None:
+        self.built = built
+        self.horizon = horizon
+        self.rng = rng
+        self.live_apps: list[AppModel] = []
+
+    def install(self) -> None:
+        machine = self.built.machine
+        # Logon at the very start of the session.
+        machine.schedule(machine.clock.now + TICKS_PER_SECOND // 10,
+                         lambda: self._launch(WinlogonApp))
+        # The resident processes.
+        machine.schedule(machine.clock.now + TICKS_PER_SECOND // 5,
+                         lambda: self._launch(ServicesApp))
+        machine.schedule(machine.clock.now + TICKS_PER_SECOND // 3,
+                         lambda: self._launch(ExplorerApp))
+        # Heavy-tailed session launches over the horizon, gated by a
+        # user-level ON/OFF process: users work in bursts and walk away
+        # (the §7 mechanism for self-similar traffic at coarse scales).
+        category = self.built.category
+        interarrival = Pareto(alpha=1.2, xm=category.session_interarrival_xm)
+        horizon_seconds = self.horizon / float(ticks_from_seconds(1.0))
+        user_activity = OnOffProcess(
+            on_duration=Pareto(alpha=1.4,
+                               xm=4 * category.session_interarrival_xm),
+            off_duration=Pareto(alpha=1.4,
+                                xm=2 * category.session_interarrival_xm))
+        classes = [cls for cls, _w in category.app_mix]
+        weights = np.array([w for _c, w in category.app_mix], dtype=float)
+        weights /= weights.sum()
+        for on_start, on_end in user_activity.periods(self.rng,
+                                                      horizon_seconds,
+                                                      start=1.0):
+            t = on_start
+            while True:
+                t += float(interarrival.sample(self.rng))
+                if t >= on_end:
+                    break
+                when = ticks_from_seconds(t)
+                if when >= self.horizon:
+                    break
+                cls = classes[int(self.rng.choice(len(classes), p=weights))]
+                machine.schedule(when, lambda c=cls: self._launch(c))
+
+    def _launch(self, cls: type[AppModel]) -> None:
+        built = self.built
+        machine = built.machine
+        process = machine.create_process(cls.name, cls.interactive)
+        ctx = AppContext(
+            machine=machine, process=process, catalog=built.catalog,
+            rng=machine.rng, drive="C:",
+            remote_prefix=built.remote_prefix,
+            remote_catalog=built.remote_catalog)
+        app = cls(ctx)
+        app.on_start()
+        self.live_apps.append(app)
+        self._pump(app)
+
+    def _pump(self, app: AppModel) -> None:
+        next_wake = app.step()
+        if next_wake is None:
+            app.on_exit()
+            if app in self.live_apps:
+                self.live_apps.remove(app)
+            return
+        self.built.machine.schedule(next_wake, lambda: self._pump(app))
+
+    def shutdown(self) -> None:
+        """End of the run: exit live applications, then log the user off.
+
+        Logoff migrates changed profile files back to the user's share
+        ("at the end of each session the changes to the profiles are
+        migrated back to the central server", §5).
+        """
+        for app in list(self.live_apps):
+            app.on_exit()
+        self.live_apps.clear()
+        self._logoff_profile_upload()
+
+    def _logoff_profile_upload(self) -> None:
+        built = self.built
+        if not built.remote_prefix or not built.catalog.profile_dir:
+            return
+        machine = built.machine
+        process = machine.create_process("winlogon.exe")
+        w = machine.win32
+        volume = machine.drives.get("C")
+        if volume is None:
+            return
+        profile = volume.resolve(built.catalog.profile_dir)
+        if profile is None:
+            return
+        # Upload a sample of recently-changed profile files.
+        candidates = [n for n in volume.walk()
+                      if not n.is_directory
+                      and built.catalog.profile_dir.lower()
+                      in n.full_path().lower()]
+        candidates.sort(key=lambda n: -n.last_write_time)
+        w.create_directory(process,
+                           built.remote_prefix
+                           + f"\\{built.username}\\profile")
+        for node in candidates[:int(self.rng.integers(5, 20))]:
+            remote = (built.remote_prefix
+                      + f"\\{built.username}\\profile"
+                      + f"\\up{node.node_id}.dat")
+            w.copy_file(process, "C:" + node.full_path(), remote,
+                        chunk=16384)
+        for handle in list(process.handles):
+            w.close_handle(process, handle)
+        process.alive = False
+
+
+def run_study(config: StudyConfig) -> StudyResult:
+    """Run a full trace collection study and return its results."""
+    rng = np.random.default_rng(config.seed)
+    horizon = ticks_from_seconds(config.duration_seconds)
+    categories = _assign_categories(config, rng)
+    collectors: list[TraceCollector] = []
+    machine_categories: dict[str, str] = {}
+    counters: dict[str, dict[str, int]] = {}
+
+    for index, category_name in enumerate(categories):
+        name = f"m{index:02d}-{category_name}"
+        seed = config.seed * 10_007 + index
+        built = build_machine(name, category_name, seed,
+                              content_scale=config.content_scale)
+        machine = built.machine
+        if config.with_network_shares:
+            share = Volume(label=f"srv-{built.username}",
+                           capacity_bytes=1024**3,
+                           disk=SCSI_ULTRA2_DISK)
+            built.remote_catalog = build_user_share(
+                share, machine.rng, username=built.username,
+                scale=config.content_scale)
+            built.remote_prefix = rf"\\fileserv\{built.username}"
+            machine.mount_remote(built.remote_prefix, share)
+            # Home-share paths in the remote catalog are share-relative.
+        machine.take_snapshots()
+        if config.snapshot_interval_seconds:
+            interval = ticks_from_seconds(config.snapshot_interval_seconds)
+            when = interval
+            while when < horizon:
+                machine.schedule(when, machine.take_snapshots)
+                when += interval
+        workload = _MachineWorkload(built, horizon, machine.rng)
+        workload.install()
+        machine.run_until(horizon)
+        workload.shutdown()
+        machine.finish_tracing(
+            drain_ticks=ticks_from_seconds(config.drain_seconds))
+        machine.take_snapshots()
+        collectors.append(machine.collector)
+        machine_categories[name] = category_name
+        counters[name] = dict(machine.counters)
+
+    return StudyResult(collectors=collectors,
+                       machine_categories=machine_categories,
+                       duration_ticks=horizon,
+                       counters=counters)

@@ -1,0 +1,224 @@
+"""Trace-fitted synthetic benchmarking (§7 point 3).
+
+One of the paper's stated goals was a data collection usable "as
+configuration information for realistic file system benchmarks", and §7
+insists such benchmarks must carry the traced distributions — including
+their infinite-variance tails — rather than Poisson/Normal stand-ins.
+
+``fit_workload`` measures a :class:`~repro.analysis.warehouse.
+TraceWarehouse` into a :class:`FittedWorkloadModel` (empirical
+distributions for interarrivals, session shapes and request sizes), and
+:class:`SyntheticApp` replays that model against any machine — closing
+the loop from trace to benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.clock import ticks_from_micros
+from repro.common.flags import CreateDisposition, FileAccess
+from repro.stats.distributions import Empirical
+from repro.workload.apps import AppContext, AppModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.warehouse import TraceWarehouse
+
+
+@dataclass
+class FittedWorkloadModel:
+    """Empirical distributions measured from a trace warehouse."""
+
+    open_interarrival_ticks: Empirical
+    reads_per_session: Empirical
+    writes_per_session: Empirical
+    read_sizes: Empirical
+    write_sizes: Empirical
+    target_file_sizes: Empirical
+    # Session-type mix over successful opens.
+    p_control: float
+    p_read_only: float
+    p_write_only: float
+    p_read_write: float
+    # Within data sessions: probability the access pattern is random.
+    p_random_access: float
+    n_source_instances: int
+
+    def describe(self) -> str:
+        return (f"fitted from {self.n_source_instances} sessions: "
+                f"control {100 * self.p_control:.0f}%, "
+                f"RO {100 * self.p_read_only:.0f}%, "
+                f"WO {100 * self.p_write_only:.0f}%, "
+                f"RW {100 * self.p_read_write:.0f}%, "
+                f"random {100 * self.p_random_access:.0f}%")
+
+
+def fit_workload(wh: "TraceWarehouse") -> FittedWorkloadModel:
+    """Measure the distributions a synthetic benchmark needs."""
+    from repro.analysis.opens import analyze_opens
+
+    instances = [s for s in wh.instances if not s.open_failed]
+    if not instances:
+        raise ValueError("warehouse has no successful sessions to fit")
+    opens = analyze_opens(wh)
+    if opens.interarrival_all.size == 0:
+        raise ValueError("warehouse has too few opens to fit")
+
+    data = [s for s in instances if s.has_data]
+    n_total = len(instances)
+    n_control = n_total - len(data)
+    usage_counts = {"read-only": 0, "write-only": 0, "read-write": 0}
+    random_count = 0
+    reads_per, writes_per, read_sz, write_sz, sizes = [], [], [], [], []
+    for s in data:
+        usage_counts[s.usage] = usage_counts.get(s.usage, 0) + 1
+        if s.access_pattern() == "random":
+            random_count += 1
+        if s.n_reads:
+            reads_per.append(s.n_reads)
+        if s.n_writes:
+            writes_per.append(s.n_writes)
+        sizes.append(max(1, s.file_size_max))
+        for op in s.ops:
+            if op.returned <= 0:
+                continue
+            (read_sz if op.is_read else write_sz).append(op.returned)
+
+    def empirical(values, fallback):
+        return Empirical(values if values else [fallback])
+
+    n_data = max(1, len(data))
+    return FittedWorkloadModel(
+        open_interarrival_ticks=Empirical(opens.interarrival_all),
+        reads_per_session=empirical(reads_per, 1),
+        writes_per_session=empirical(writes_per, 1),
+        read_sizes=empirical(read_sz, 4096),
+        write_sizes=empirical(write_sz, 4096),
+        target_file_sizes=empirical(sizes, 4096),
+        p_control=n_control / n_total,
+        p_read_only=usage_counts["read-only"] / n_data,
+        p_write_only=usage_counts["write-only"] / n_data,
+        p_read_write=usage_counts["read-write"] / n_data,
+        p_random_access=random_count / n_data,
+        n_source_instances=n_total,
+    )
+
+
+class SyntheticApp(AppModel):
+    """Replays a fitted workload model: the generated benchmark."""
+
+    name = "synthetic.exe"
+
+    def __init__(self, ctx: AppContext, model: FittedWorkloadModel,
+                 n_sessions: int = 200) -> None:
+        super().__init__(ctx)
+        self.model = model
+        self.steps_remaining = n_sessions
+        self._target_counter = 0
+
+    def on_start(self) -> None:
+        # The benchmark process itself does not model image loading.
+        return
+
+    def step(self) -> Optional[int]:
+        if self.steps_remaining <= 0:
+            return None
+        self.steps_remaining -= 1
+        self.burst()
+        if self.steps_remaining <= 0:
+            return None
+        gap = self.model.open_interarrival_ticks.sample(self.ctx.rng)
+        return self.ctx.now + max(1, int(gap))
+
+    # ------------------------------------------------------------------ #
+
+    def _pick_target(self, size_hint: int) -> str:
+        ctx = self.ctx
+        cat = ctx.catalog
+        pools = [cat.documents, cat.web_cache, cat.dlls, cat.mail_files]
+        pools = [p for p in pools if p]
+        if pools and ctx.rng.random() < 0.8:
+            pool = pools[int(ctx.rng.integers(len(pools)))]
+            return ctx.local(cat.pick(ctx.rng, pool))
+        self._target_counter += 1
+        return ctx.local(cat.temp_dir +
+                         f"\\synth{self._target_counter:05d}.dat")
+
+    def burst(self) -> None:
+        ctx = self.ctx
+        w, p = ctx.win32, ctx.process
+        rng = ctx.rng
+        model = self.model
+        if rng.random() < model.p_control:
+            # A control session: attribute query only.
+            target = self._pick_target(0)
+            w.get_file_attributes(p, target)
+            return
+        r = rng.random()
+        if r < model.p_read_only:
+            usage = "read-only"
+        elif r < model.p_read_only + model.p_write_only:
+            usage = "write-only"
+        else:
+            usage = "read-write"
+        wants_read = usage in ("read-only", "read-write")
+        wants_write = usage in ("write-only", "read-write")
+        target = self._pick_target(
+            int(model.target_file_sizes.sample(rng)))
+        access = FileAccess.NONE
+        if wants_read:
+            access |= FileAccess.GENERIC_READ
+        if wants_write:
+            access |= FileAccess.GENERIC_WRITE
+        disposition = (CreateDisposition.OPEN_IF if wants_write
+                       else CreateDisposition.OPEN)
+        status, handle = w.create_file(p, target, access=access,
+                                       disposition=disposition)
+        if status.is_error or handle is None:
+            return
+        fo = w.file_object(p, handle)
+        size = max(1, fo.node.size if fo.node is not None else 1)
+        random_access = rng.random() < model.p_random_access
+        if wants_read:
+            n_reads = max(1, int(model.reads_per_session.sample(rng)))
+            offset = 0
+            for _ in range(min(n_reads, 2000)):
+                length = max(1, int(model.read_sizes.sample(rng)))
+                if random_access:
+                    offset = int(rng.integers(0, size))
+                w.read_file(p, handle, length, offset=offset)
+                offset += length
+                if offset >= size and not random_access:
+                    break
+                ctx.pause_micros(float(rng.uniform(10, 80)))
+        if wants_write:
+            n_writes = max(1, int(model.writes_per_session.sample(rng)))
+            offset = size if not random_access else 0
+            for _ in range(min(n_writes, 2000)):
+                length = max(1, int(model.write_sizes.sample(rng)))
+                if random_access:
+                    offset = int(rng.integers(0, size))
+                w.write_file(p, handle, length, offset=offset)
+                offset += length
+                ctx.pause_micros(float(rng.uniform(2, 20)))
+        w.close_handle(p, handle)
+
+
+def run_synthetic_benchmark(machine, catalog,
+                            model: FittedWorkloadModel,
+                            n_sessions: int = 300) -> None:
+    """Drive a fitted workload to completion on a machine."""
+    process = machine.create_process(SyntheticApp.name)
+    ctx = AppContext(machine=machine, process=process, catalog=catalog,
+                     rng=machine.rng)
+    app = SyntheticApp(ctx, model, n_sessions=n_sessions)
+    app.on_start()
+    while True:
+        next_wake = app.step()
+        if next_wake is None:
+            break
+        machine.run_until(next_wake)
+    app.on_exit()

@@ -1,0 +1,90 @@
+"""Shared fixtures: a small machine, and a session-scoped study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, TraceWarehouse, run_study
+from repro.common.flags import FileAttributes
+from repro.nt.fs.nodes import DirectoryNode, FileNode
+from repro.nt.fs.path import split_path
+from repro.nt.fs.volume import Volume
+from repro.nt.system import Machine, MachineConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def volume():
+    return Volume("C", Volume.NTFS, capacity_bytes=2 * 1024**3)
+
+
+@pytest.fixture
+def machine():
+    m = Machine(MachineConfig(name="testbox", seed=7))
+    vol = Volume("C", Volume.NTFS, capacity_bytes=2 * 1024**3)
+    m.mount("C", vol)
+    return m
+
+
+@pytest.fixture
+def process(machine):
+    return machine.create_process("testapp.exe", interactive=True)
+
+
+@pytest.fixture
+def win(machine):
+    return machine.win32
+
+
+def make_tree(volume: Volume, path: str) -> DirectoryNode:
+    """Create the directory chain for ``path`` directly on a volume."""
+    node = volume.root
+    for component in split_path(path):
+        child = node.lookup(component)
+        if child is None:
+            child = volume.create_directory(node, component,
+                                            FileAttributes.DIRECTORY, now=0)
+        node = child
+    return node
+
+
+def make_file(volume: Volume, path: str, size: int = 0) -> FileNode:
+    """Create a file of the given size directly on a volume (no tracing)."""
+    parts = split_path(path)
+    parent = make_tree(volume, "\\".join(parts[:-1])) if len(parts) > 1 \
+        else volume.root
+    node = volume.create_file(parent, parts[-1], FileAttributes.NORMAL,
+                              now=0)
+    volume.set_file_size(node, size, now=0)
+    node.valid_data_length = size
+    return node
+
+
+@pytest.fixture
+def make_file_on(machine):
+    """Factory: create a sized file on the machine's C volume."""
+    vol = machine.drives["C"]
+
+    def _make(path: str, size: int = 0) -> FileNode:
+        return make_file(vol, path, size)
+
+    return _make
+
+
+# --------------------------------------------------------------------- #
+# A small end-to-end study, shared across analysis and integration tests.
+
+@pytest.fixture(scope="session")
+def small_study():
+    return run_study(StudyConfig(n_machines=6, duration_seconds=90,
+                                 seed=11, content_scale=0.1))
+
+
+@pytest.fixture(scope="session")
+def small_warehouse(small_study):
+    return TraceWarehouse.from_study(small_study)

@@ -1,0 +1,142 @@
+"""Tests for analysis internals: constants, formatting, small helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import (
+    PAPER_NT_TABLE3,
+    PATTERNS,
+    SPRITE_TABLE3,
+    USAGES,
+)
+from repro.analysis.report import Observation, ObservationSummary
+from repro.analysis.sessions import DataOp, Instance
+from repro.stats.descriptive import summarize
+
+
+class TestTableConstants:
+    def test_sprite_usage_shares_sum(self):
+        total = sum(SPRITE_TABLE3[(u, "usage")][0] for u in USAGES)
+        assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_paper_nt_usage_shares_sum(self):
+        total = sum(PAPER_NT_TABLE3[(u, "usage")][0] for u in USAGES)
+        assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_all_cells_present(self):
+        for table in (SPRITE_TABLE3, PAPER_NT_TABLE3):
+            for usage in USAGES:
+                for pattern in PATTERNS + ("usage",):
+                    assert (usage, pattern) in table
+
+
+class TestObservationFormatting:
+    def test_percent(self):
+        text = Observation("k", "50%", 42.0).format()
+        assert "42.0%" in text and "50%" in text
+
+    def test_unit(self):
+        text = Observation("k", "26 KB", 35.2, unit="KB").format()
+        assert "35.2 KB" in text
+
+    def test_nan(self):
+        text = Observation("k", "x", float("nan")).format()
+        assert "n/a" in text
+
+    def test_summary_value_lookup(self):
+        summary = ObservationSummary()
+        summary.add("thing", "1%", 2.0)
+        assert summary.value("thing") == 2.0
+        with pytest.raises(KeyError):
+            summary.value("missing")
+
+
+def make_instance(**overrides):
+    fields = dict(fo_id=1, machine_idx=0, pid=1, process_name="t",
+                  interactive=False, path="\\f", extension="dat",
+                  volume_label="C", is_remote=False, open_t=100,
+                  open_status=0, open_duration=10, create_disposition=1,
+                  create_result=1, options=0, attributes=0)
+    fields.update(overrides)
+    return Instance(**fields)
+
+
+class TestInstanceHelpers:
+    def test_close_gap_without_close(self):
+        inst = make_instance(cleanup_t=200)
+        assert inst.close_gap == -1
+
+    def test_close_gap_with_both(self):
+        inst = make_instance(cleanup_t=200, close_t=260)
+        assert inst.close_gap == 60
+
+    def test_session_end_fallbacks(self):
+        inst = make_instance()
+        assert inst.session_end_t == 100  # open_t when nothing else known
+        inst.ops.append(DataOp(t=500, is_read=True, offset=0, returned=10,
+                               is_fastio=False, duration=1,
+                               is_paging=False))
+        assert inst.session_end_t == 500
+        inst.close_t = 900
+        assert inst.session_end_t == 900
+        inst.cleanup_t = 700
+        assert inst.session_end_t == 700
+
+    def test_failed_open_properties(self):
+        inst = make_instance(open_status=0xC0000034, create_result=-1)
+        assert inst.open_failed
+        assert not inst.was_created
+        assert inst.usage == "none"
+        assert inst.purpose == "control"
+
+    def test_temporary_via_options(self):
+        from repro.common.flags import CreateOptions
+        inst = make_instance(options=int(CreateOptions.DELETE_ON_CLOSE))
+        assert inst.temporary
+
+    def test_was_overwrite(self):
+        from repro.nt.fs.driver import CreateResult
+        inst = make_instance(create_result=int(CreateResult.OVERWRITTEN))
+        assert inst.was_overwrite
+        inst2 = make_instance(create_result=int(CreateResult.SUPERSEDED))
+        assert inst2.was_overwrite
+        inst3 = make_instance(create_result=int(CreateResult.OPENED))
+        assert not inst3.was_overwrite
+
+    def test_empty_pattern(self):
+        assert make_instance().access_pattern() == "none"
+        assert make_instance().sequential_runs(reads=True) == []
+
+
+class TestSummaryFormatting:
+    def test_str_contains_descriptors(self):
+        s = summarize([1.0, 2.0, 3.0])
+        text = str(s)
+        assert "mean=" in text and "p90=" in text
+
+    def test_descriptor_orderings(self):
+        rng = np.random.default_rng(0)
+        s = summarize(rng.lognormal(0, 1, size=1000))
+        assert s.minimum <= s.median <= s.p90 <= s.p99 <= s.maximum
+
+
+class TestWarehouseDimensions:
+    def test_categories_mapped(self, small_study, small_warehouse):
+        assert small_warehouse.machine_categories == \
+            small_study.machine_categories
+
+    def test_interactive_flags_preserved(self, small_warehouse):
+        names = {}
+        for proc in small_warehouse.processes.values():
+            names.setdefault(proc.name, proc.interactive)
+        assert names.get("explorer.exe") is True
+        assert names.get("services.exe") is False
+
+    def test_process_name_fallback(self, small_warehouse):
+        assert small_warehouse.process_name(-12345) == "system"
+
+    def test_file_for_missing(self, small_warehouse):
+        assert small_warehouse.file_for(-1) is None
+
+    def test_repr(self, small_warehouse):
+        assert "records" in repr(small_warehouse)

@@ -1,0 +1,95 @@
+"""Tests for the simulated clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.clock import (
+    SimClock,
+    TICKS_PER_MICROSECOND,
+    TICKS_PER_MILLISECOND,
+    TICKS_PER_SECOND,
+    micros_from_ticks,
+    millis_from_ticks,
+    seconds_from_ticks,
+    ticks_from_micros,
+    ticks_from_millis,
+    ticks_from_seconds,
+)
+
+
+class TestConversions:
+    def test_tick_constants_are_consistent(self):
+        assert TICKS_PER_MILLISECOND == 1000 * TICKS_PER_MICROSECOND
+        assert TICKS_PER_SECOND == 1000 * TICKS_PER_MILLISECOND
+
+    def test_one_second(self):
+        assert ticks_from_seconds(1.0) == 10_000_000
+
+    def test_one_millisecond(self):
+        assert ticks_from_millis(1.0) == 10_000
+
+    def test_one_microsecond(self):
+        assert ticks_from_micros(1.0) == 10
+
+    def test_rounding(self):
+        # 0.05 us = half a tick, rounds to nearest.
+        assert ticks_from_micros(0.04) == 0
+        assert ticks_from_micros(0.06) == 1
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_seconds_roundtrip(self, seconds):
+        ticks = ticks_from_seconds(seconds)
+        assert seconds_from_ticks(ticks) == pytest.approx(seconds, abs=1e-7)
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_unit_chain(self, ticks):
+        assert millis_from_ticks(ticks) == pytest.approx(
+            seconds_from_ticks(ticks) * 1000)
+        assert micros_from_ticks(ticks) == pytest.approx(
+            millis_from_ticks(ticks) * 1000)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(42).now == 42
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(100) == 100
+        assert clock.now == 100
+
+    def test_advance_rejects_negative(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock(10)
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(100)
+        clock.advance_to(50)
+        assert clock.now == 100
+
+    def test_now_seconds(self):
+        clock = SimClock(TICKS_PER_SECOND * 3)
+        assert clock.now_seconds == pytest.approx(3.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+    def test_monotonicity(self, durations):
+        clock = SimClock()
+        previous = 0
+        for d in durations:
+            clock.advance(d)
+            assert clock.now >= previous
+            previous = clock.now
+        assert clock.now == sum(durations)

@@ -1,0 +1,106 @@
+"""Cross-cutting consistency checks: exported figures must agree with the
+analyses they came from; stores must survive unusual inputs; public API
+surface must import."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure_series
+from repro.analysis.opens import analyze_opens
+from repro.analysis.patterns import run_length_distributions
+from repro.nt.tracing.collector import TraceCollector
+from repro.nt.tracing.records import NameRecord
+from repro.nt.tracing.store import load_collector, save_collector
+
+
+class TestFigureConsistency:
+    @pytest.fixture(scope="class")
+    def figures(self, small_warehouse):
+        return figure_series(small_warehouse, np.random.default_rng(0))
+
+    def test_fig12_matches_opens_analysis(self, small_warehouse, figures):
+        opens = analyze_opens(small_warehouse)
+        x, p = figures["fig12_session_lifetime"]["all"]
+        direct_x, direct_p = opens.session_cdf("all")
+        assert np.array_equal(x, direct_x)
+        assert np.array_equal(p, direct_p)
+
+    def test_fig01_matches_run_analysis(self, small_warehouse, figures):
+        runs = run_length_distributions(small_warehouse)
+        x, p = figures["fig01_run_length_by_files"]["read_runs"]
+        direct_x, direct_p = runs.by_files(True)
+        assert np.array_equal(x, direct_x)
+        assert np.array_equal(p, direct_p)
+
+    def test_fig08_iod_positive(self, figures):
+        if "fig08_burstiness" in figures:
+            _x, trace_iod = figures["fig08_burstiness"]["trace_iod"]
+            assert np.all(trace_iod > 0)
+
+
+class TestStoreRobustness:
+    def test_unicode_paths_roundtrip(self, tmp_path):
+        collector = TraceCollector("ünïcode-mächine")
+        collector.receive_name(NameRecord(
+            fo_id=1, path="\\prøfiles\\αβγ\\dokument.txt",
+            volume_label="Ç", volume_is_remote=False, pid=4, t=0))
+        collector.register_process(4, "exposé.exe", True)
+        path = tmp_path / "u.nttrace"
+        save_collector(collector, path)
+        loaded = load_collector(path)
+        assert loaded.machine_name == "ünïcode-mächine"
+        assert loaded.name_records[0].path == "\\prøfiles\\αβγ\\dokument.txt"
+        assert loaded.process_names[4] == "exposé.exe"
+
+    def test_empty_collector_roundtrip(self, tmp_path):
+        collector = TraceCollector("empty")
+        path = tmp_path / "e.nttrace"
+        save_collector(collector, path)
+        loaded = load_collector(path)
+        assert loaded.machine_name == "empty"
+        assert loaded.records == []
+
+
+class TestPublicApi:
+    def test_top_level_imports(self):
+        import repro
+        assert repro.__version__
+        assert callable(repro.run_study)
+
+    def test_analysis_exports(self):
+        from repro.analysis import (
+            TraceWarehouse, access_pattern_table, analyze_cache,
+            analyze_content, analyze_fastio, analyze_heavy_tails,
+            analyze_lifetimes, analyze_opens, by_category, by_file_type,
+            by_process, compare_warehouses, figure_series,
+            summarize_observations, user_activity_table, write_csv)
+        assert callable(compare_warehouses)
+
+    def test_stats_exports(self):
+        from repro.stats import (
+            BoundedPareto, Choice, Empirical, Pareto, burstiness_profile,
+            fit_tail_index, hill_estimator, hurst_rescaled_range,
+            llcd_points, qq_pareto)
+        assert callable(hurst_rescaled_range)
+
+    def test_nt_exports(self):
+        from repro.nt import Machine, MachineConfig
+        from repro.nt.tracing import (N_EVENT_KINDS, load_study,
+                                      save_study)
+        assert N_EVENT_KINDS == 54
+
+    def test_workload_exports(self):
+        from repro.workload import (APP_REGISTRY, CATEGORY_PROFILES,
+                                    StudyConfig, build_machine, run_study)
+        assert len(APP_REGISTRY) == 13
+        assert len(CATEGORY_PROFILES) == 5
+
+    def test_version_consistent_with_pyproject(self):
+        import tomllib
+        from pathlib import Path
+        import repro
+        pyproject = Path(repro.__file__).resolve().parents[2] / \
+            "pyproject.toml"
+        if pyproject.exists():
+            data = tomllib.loads(pyproject.read_text())
+            assert data["project"]["version"] == repro.__version__

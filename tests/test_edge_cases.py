@@ -1,0 +1,158 @@
+"""Edge-case hardening: empty traces, single records, degenerate inputs.
+
+Every analysis must degrade gracefully (NaNs / empty arrays, no crashes)
+when given an empty or minimal warehouse — the paper's pipeline had to
+cope with machines that produced almost nothing overnight.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.activity import user_activity_table
+from repro.analysis.cache import analyze_cache
+from repro.analysis.categories import by_category
+from repro.analysis.content import analyze_content
+from repro.analysis.drilldown import by_file_type, by_process
+from repro.analysis.fastio import analyze_fastio
+from repro.analysis.lifetimes import analyze_lifetimes
+from repro.analysis.opens import analyze_opens
+from repro.analysis.patterns import (
+    access_pattern_table,
+    file_size_distributions,
+    run_length_distributions,
+)
+from repro.analysis.warehouse import TraceWarehouse
+from repro.nt.tracing.collector import TraceCollector
+
+
+@pytest.fixture
+def empty_warehouse():
+    return TraceWarehouse([TraceCollector("empty")])
+
+
+@pytest.fixture
+def minimal_warehouse(machine, process, make_file_on):
+    """One machine with a single control-only session."""
+    make_file_on(r"\f.txt", 100)
+    machine.win32.get_file_attributes(process, r"C:\f.txt")
+    machine.finish_tracing()
+    return TraceWarehouse([machine.collector])
+
+
+class TestEmptyWarehouse:
+    def test_no_instances(self, empty_warehouse):
+        assert empty_warehouse.instances == []
+
+    def test_opens(self, empty_warehouse):
+        opens = analyze_opens(empty_warehouse)
+        assert opens.interarrival_all.size == 0
+        assert np.isnan(opens.open_failure_pct)
+
+    def test_patterns(self, empty_warehouse):
+        table = access_pattern_table(empty_warehouse)
+        assert table.n_instances == 0
+        runs = run_length_distributions(empty_warehouse)
+        assert runs.read_runs.size == 0
+        sizes = file_size_distributions(empty_warehouse)
+        x, p = sizes.combined_by_opens()
+        assert x.size == 0
+
+    def test_lifetimes(self, empty_warehouse):
+        lt = analyze_lifetimes(empty_warehouse)
+        assert lt.n_created == 0
+        assert np.isnan(lt.fraction_deleted_within(1.0))
+        assert np.isnan(lt.size_lifetime_correlation())
+
+    def test_cache(self, empty_warehouse):
+        cache = analyze_cache(empty_warehouse)
+        assert np.isnan(cache.single_prefetch_sufficient_pct)
+
+    def test_fastio(self, empty_warehouse):
+        fio = analyze_fastio(empty_warehouse)
+        assert np.isnan(fio.fastio_read_share_pct)
+        assert np.isnan(fio.median_latency("irp-read"))
+
+    def test_content(self, empty_warehouse):
+        content = analyze_content(empty_warehouse)
+        assert content.volumes == []
+        assert np.isnan(content.mean_profile_share_pct())
+
+    def test_activity(self, empty_warehouse):
+        table = user_activity_table(empty_warehouse)
+        assert table.ten_second.max_active_users == 0
+
+    def test_drilldowns(self, empty_warehouse):
+        assert by_process(empty_warehouse) == {}
+        assert by_file_type(empty_warehouse) == {}
+        assert by_category(empty_warehouse) == {}
+
+
+class TestMinimalWarehouse:
+    def test_single_session_instances(self, minimal_warehouse):
+        # The probe-open plus the real open of GetFileAttributes.
+        instances = [s for s in minimal_warehouse.instances
+                     if not s.open_failed]
+        assert instances
+        assert all(s.purpose == "control" for s in instances)
+
+    def test_opens_computable(self, minimal_warehouse):
+        opens = analyze_opens(minimal_warehouse)
+        assert opens.n_control_opens >= 1
+        assert opens.n_data_opens == 0
+
+    def test_patterns_all_zero_data(self, minimal_warehouse):
+        table = access_pattern_table(minimal_warehouse)
+        assert table.n_instances == 0
+
+    def test_lifetimes_no_deaths(self, minimal_warehouse):
+        lt = analyze_lifetimes(minimal_warehouse)
+        assert lt.n_deleted == 0
+
+
+class TestDegenerateMachineInputs:
+    def test_zero_length_read(self, machine, process, make_file_on):
+        make_file_on(r"\f.bin", 4096)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin")
+        status, got = w.read_file(process, h, 0)
+        assert got == 0
+        w.close_handle(process, h)
+
+    def test_zero_length_write(self, machine, process):
+        from repro.common.flags import CreateDisposition, FileAccess
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin",
+                              access=FileAccess.GENERIC_WRITE,
+                              disposition=CreateDisposition.CREATE)
+        status, got = w.write_file(process, h, 0)
+        assert got == 0
+        fo = w.file_object(process, h)
+        assert fo.node.size == 0
+        w.close_handle(process, h)
+
+    def test_empty_file_read(self, machine, process, make_file_on):
+        make_file_on(r"\empty.bin", 0)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\empty.bin")
+        status, got = w.read_file(process, h, 4096)
+        assert got == 0
+        w.close_handle(process, h)
+
+    def test_find_files_empty_directory(self, machine, process):
+        machine.win32.create_directory(process, r"C:\emptydir")
+        status, count = machine.win32.find_files(process, r"C:\emptydir")
+        assert status.is_success
+        assert count == 0
+
+    def test_deep_path(self, machine, process):
+        w = machine.win32
+        path = "C:"
+        for i in range(12):
+            path += f"\\d{i}"
+            assert w.create_directory(process, path).is_success
+        from repro.common.flags import CreateDisposition, FileAccess
+        status, h = w.create_file(process, path + r"\leaf.txt",
+                                  access=FileAccess.GENERIC_WRITE,
+                                  disposition=CreateDisposition.CREATE)
+        assert status.is_success
+        w.close_handle(process, h)

@@ -1,0 +1,44 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+Only the fast examples run here (the full set is exercised manually /
+in release checks); each runs in-process via runpy so coverage tools see
+them too.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert "IRP_CREATE" in out
+
+    def test_archive_traces(self, tmp_path, capsys):
+        run_example("archive_traces.py", [str(tmp_path / "arch")])
+        out = capsys.readouterr().out
+        assert "analysis identical after round-trip: True" in out
+
+    def test_trace_study_tiny(self, capsys):
+        run_example("trace_study.py",
+                    ["--machines", "1", "--seconds", "15",
+                     "--scale", "0.05", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 3" in out

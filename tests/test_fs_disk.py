@@ -1,0 +1,63 @@
+"""Tests for the disk service-time model."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import ticks_from_micros
+from repro.nt.fs.disk import DiskModel, IDE_DISK, SCSI_ULTRA2_DISK
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def no_jitter(model: DiskModel) -> DiskModel:
+    return DiskModel(name=model.name, seek_micros=model.seek_micros,
+                     sequential_micros=model.sequential_micros,
+                     bytes_per_second=model.bytes_per_second,
+                     jitter_fraction=0.0)
+
+
+class TestDiskModel:
+    def test_bigger_transfers_cost_more(self, rng):
+        disk = no_jitter(IDE_DISK)
+        small = disk.service_ticks(4096, rng)
+        big = disk.service_ticks(1 << 20, rng)
+        assert big > small
+
+    def test_sequential_cheaper(self, rng):
+        disk = no_jitter(IDE_DISK)
+        assert disk.service_ticks(4096, rng, sequential=True) < \
+            disk.service_ticks(4096, rng, sequential=False)
+
+    def test_scsi_faster_than_ide(self, rng):
+        ide = no_jitter(IDE_DISK).service_ticks(65536, rng)
+        scsi = no_jitter(SCSI_ULTRA2_DISK).service_ticks(65536, rng)
+        assert scsi < ide
+
+    def test_deterministic_without_jitter(self, rng):
+        disk = no_jitter(IDE_DISK)
+        assert disk.service_ticks(8192, rng) == disk.service_ticks(8192, rng)
+
+    def test_expected_magnitude(self, rng):
+        # A random 4 KB IDE read costs about a seek (~10 ms).
+        disk = no_jitter(IDE_DISK)
+        ticks = disk.service_ticks(4096, rng)
+        assert ticks == pytest.approx(
+            ticks_from_micros(10_000 + 4096 / 7e6 * 1e6), rel=0.01)
+
+    def test_jitter_bounded(self):
+        rng = np.random.default_rng(1)
+        base = no_jitter(IDE_DISK).service_ticks(4096, rng)
+        for _ in range(200):
+            t = IDE_DISK.service_ticks(4096, rng)
+            assert 0.79 * base <= t <= 1.21 * base
+
+    def test_negative_bytes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            IDE_DISK.service_ticks(-1, rng)
+
+    def test_minimum_one_tick(self, rng):
+        tiny = DiskModel("t", 0.0001, 0.0001, 1e12, jitter_fraction=0)
+        assert tiny.service_ticks(0, rng) >= 1

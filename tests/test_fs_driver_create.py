@@ -1,0 +1,163 @@
+"""Tests for IRP_MJ_CREATE semantics: dispositions, errors, binding."""
+
+import pytest
+
+from repro.common.flags import (
+    CreateDisposition,
+    CreateOptions,
+    FileAccess,
+    FileAttributes,
+    FileObjectFlags,
+)
+from repro.common.status import NtStatus
+from repro.nt.fs.driver import CreateResult
+
+
+def open_raw(machine, process, path, disposition=CreateDisposition.OPEN,
+             options=CreateOptions.NONE,
+             attributes=FileAttributes.NORMAL):
+    """CreateFile returning (status, handle, create_result)."""
+    from repro.nt.io.irp import Irp, IrpMajor
+    w = machine.win32
+    volume, rel = w.resolve_path(path)
+    fo = machine.io.allocate_file_object(rel, volume, process.pid)
+    irp = Irp(IrpMajor.CREATE, fo, process.pid)
+    irp.create_path = rel
+    irp.create_disposition = disposition
+    irp.create_options = options
+    irp.create_attributes = attributes
+    status = machine.io.send_irp(irp)
+    handle = process.allocate_handle(fo) if status.is_success else None
+    return status, handle, irp.returned
+
+
+class TestOpenExisting:
+    def test_open_missing_fails(self, machine, process):
+        status, _h, _r = open_raw(machine, process, r"C:\missing.txt")
+        assert status == NtStatus.OBJECT_NAME_NOT_FOUND
+
+    def test_open_missing_path_fails(self, machine, process):
+        status, _h, _r = open_raw(machine, process, r"C:\no\dir\f.txt")
+        assert status == NtStatus.OBJECT_PATH_NOT_FOUND
+
+    def test_open_existing(self, machine, process, make_file_on):
+        make_file_on(r"\f.txt", 100)
+        status, handle, result = open_raw(machine, process, r"C:\f.txt")
+        assert status == NtStatus.SUCCESS
+        assert result == CreateResult.OPENED
+        fo = process.handles[handle]
+        assert fo.node.size == 100
+
+    def test_open_counts_rise(self, machine, process, make_file_on):
+        node = make_file_on(r"\f.txt")
+        open_raw(machine, process, r"C:\f.txt")
+        assert node.open_count == 1
+
+
+class TestCreateDispositions:
+    def test_create_new(self, machine, process):
+        status, _h, result = open_raw(machine, process, r"C:\new.txt",
+                                      CreateDisposition.CREATE)
+        assert status == NtStatus.SUCCESS
+        assert result == CreateResult.CREATED
+        assert machine.drives["C"].resolve(r"\new.txt") is not None
+
+    def test_create_collides(self, machine, process, make_file_on):
+        make_file_on(r"\f.txt")
+        status, _h, _r = open_raw(machine, process, r"C:\f.txt",
+                                  CreateDisposition.CREATE)
+        assert status == NtStatus.OBJECT_NAME_COLLISION
+
+    def test_open_if_opens(self, machine, process, make_file_on):
+        make_file_on(r"\f.txt")
+        status, _h, result = open_raw(machine, process, r"C:\f.txt",
+                                      CreateDisposition.OPEN_IF)
+        assert result == CreateResult.OPENED
+
+    def test_open_if_creates(self, machine, process):
+        status, _h, result = open_raw(machine, process, r"C:\f.txt",
+                                      CreateDisposition.OPEN_IF)
+        assert result == CreateResult.CREATED
+
+    def test_overwrite_truncates(self, machine, process, make_file_on):
+        node = make_file_on(r"\f.txt", 10_000)
+        status, _h, result = open_raw(machine, process, r"C:\f.txt",
+                                      CreateDisposition.OVERWRITE)
+        assert status == NtStatus.SUCCESS
+        assert result == CreateResult.OVERWRITTEN
+        assert node.size == 0
+        assert node.valid_data_length == 0
+
+    def test_overwrite_missing_fails(self, machine, process):
+        status, _h, _r = open_raw(machine, process, r"C:\f.txt",
+                                  CreateDisposition.OVERWRITE)
+        assert status == NtStatus.OBJECT_NAME_NOT_FOUND
+
+    def test_overwrite_if_creates(self, machine, process):
+        status, _h, result = open_raw(machine, process, r"C:\f.txt",
+                                      CreateDisposition.OVERWRITE_IF)
+        assert result == CreateResult.CREATED
+
+    def test_supersede(self, machine, process, make_file_on):
+        node = make_file_on(r"\f.txt", 5000)
+        status, _h, result = open_raw(machine, process, r"C:\f.txt",
+                                      CreateDisposition.SUPERSEDE)
+        assert result == CreateResult.SUPERSEDED
+        assert node.size == 0
+
+
+class TestDirectorySemantics:
+    def test_open_dir_as_file_fails(self, machine, process, make_file_on):
+        make_file_on(r"\d\x.txt")
+        status, _h, _r = open_raw(machine, process, r"C:\d",
+                                  options=CreateOptions.NON_DIRECTORY_FILE)
+        assert status == NtStatus.FILE_IS_A_DIRECTORY
+
+    def test_open_file_as_dir_fails(self, machine, process, make_file_on):
+        make_file_on(r"\f.txt")
+        status, _h, _r = open_raw(machine, process, r"C:\f.txt",
+                                  options=CreateOptions.DIRECTORY_FILE)
+        assert status == NtStatus.NOT_A_DIRECTORY
+
+    def test_overwrite_directory_fails(self, machine, process, make_file_on):
+        make_file_on(r"\d\x.txt")
+        status, _h, _r = open_raw(machine, process, r"C:\d",
+                                  CreateDisposition.OVERWRITE_IF)
+        assert status == NtStatus.FILE_IS_A_DIRECTORY
+
+    def test_create_directory(self, machine, process):
+        status, _h, result = open_raw(machine, process, r"C:\newdir",
+                                      CreateDisposition.CREATE,
+                                      options=CreateOptions.DIRECTORY_FILE,
+                                      attributes=FileAttributes.DIRECTORY)
+        assert status == NtStatus.SUCCESS
+        assert machine.drives["C"].resolve(r"\newdir").is_directory
+
+
+class TestBinding:
+    def test_option_flags_transfer(self, machine, process, make_file_on):
+        make_file_on(r"\f.txt", 100)
+        _s, handle, _r = open_raw(
+            machine, process, r"C:\f.txt",
+            options=(CreateOptions.WRITE_THROUGH
+                     | CreateOptions.SEQUENTIAL_ONLY
+                     | CreateOptions.DELETE_ON_CLOSE))
+        fo = process.handles[handle]
+        assert fo.has_flag(FileObjectFlags.WRITE_THROUGH)
+        assert fo.has_flag(FileObjectFlags.SEQUENTIAL_ONLY)
+        assert fo.has_flag(FileObjectFlags.DELETE_ON_CLOSE)
+
+    def test_temporary_attribute_transfers(self, machine, process):
+        _s, handle, _r = open_raw(machine, process, r"C:\t.tmp",
+                                  CreateDisposition.CREATE,
+                                  attributes=FileAttributes.TEMPORARY)
+        fo = process.handles[handle]
+        assert fo.has_flag(FileObjectFlags.TEMPORARY_FILE)
+        assert fo.node.is_temporary
+
+    def test_delete_pending_blocks_open(self, machine, process,
+                                        make_file_on):
+        node = make_file_on(r"\f.txt")
+        node.delete_pending = True
+        status, _h, _r = open_raw(machine, process, r"C:\f.txt")
+        assert status == NtStatus.DELETE_PENDING

@@ -1,0 +1,188 @@
+"""Tests for file/directory nodes and volumes."""
+
+import pytest
+
+from repro.common.flags import FileAttributes
+from repro.common.status import NtStatus
+from repro.nt.fs.nodes import DirectoryNode, FileNode
+from repro.nt.fs.volume import Volume
+
+from tests.conftest import make_file, make_tree
+
+
+class TestNodes:
+    def test_file_defaults(self):
+        f = FileNode(1, "a.txt", FileAttributes.NORMAL, now=5)
+        assert f.size == 0
+        assert f.creation_time == 5
+        assert not f.is_directory
+        assert f.extension == "txt"
+
+    def test_directory_attach_lookup(self):
+        d = DirectoryNode(1, "dir", FileAttributes.DIRECTORY, now=0)
+        f = FileNode(2, "File.TXT", FileAttributes.NORMAL, now=0)
+        d.attach(f)
+        assert d.lookup("file.txt") is f
+        assert d.lookup("FILE.TXT") is f
+        assert f.parent is d
+
+    def test_attach_collision_rejected(self):
+        d = DirectoryNode(1, "dir", FileAttributes.DIRECTORY, now=0)
+        d.attach(FileNode(2, "x", FileAttributes.NORMAL, now=0))
+        with pytest.raises(ValueError):
+            d.attach(FileNode(3, "X", FileAttributes.NORMAL, now=0))
+
+    def test_detach(self):
+        d = DirectoryNode(1, "dir", FileAttributes.DIRECTORY, now=0)
+        f = FileNode(2, "x", FileAttributes.NORMAL, now=0)
+        d.attach(f)
+        d.detach(f)
+        assert d.lookup("x") is None
+        assert f.parent is None
+
+    def test_detach_wrong_child_rejected(self):
+        d = DirectoryNode(1, "dir", FileAttributes.DIRECTORY, now=0)
+        stranger = FileNode(2, "x", FileAttributes.NORMAL, now=0)
+        with pytest.raises(ValueError):
+            d.detach(stranger)
+
+    def test_counts(self):
+        d = DirectoryNode(1, "dir", FileAttributes.DIRECTORY, now=0)
+        d.attach(FileNode(2, "a", FileAttributes.NORMAL, now=0))
+        d.attach(DirectoryNode(3, "sub", FileAttributes.DIRECTORY, now=0))
+        assert d.n_files == 1
+        assert d.n_subdirectories == 1
+        assert len(d) == 2
+
+    def test_full_path(self, volume):
+        make_tree(volume, r"\a\b")
+        f = make_file(volume, r"\a\b\c.txt")
+        assert f.full_path() == r"\a\b\c.txt"
+
+    def test_temporary_attribute(self):
+        f = FileNode(1, "t.tmp", FileAttributes.TEMPORARY, now=0)
+        assert f.is_temporary
+
+
+class TestVolumeNamespace:
+    def test_resolve_root(self, volume):
+        assert volume.resolve("\\") is volume.root
+
+    def test_resolve_missing(self, volume):
+        assert volume.resolve(r"\nope") is None
+
+    def test_resolve_file(self, volume):
+        f = make_file(volume, r"\dir\file.txt", 100)
+        assert volume.resolve(r"\DIR\FILE.TXT") is f
+
+    def test_resolve_through_file_fails(self, volume):
+        make_file(volume, r"\f.txt")
+        assert volume.resolve(r"\f.txt\sub") is None
+
+    def test_resolve_parent(self, volume):
+        make_tree(volume, r"\a\b")
+        parent, leaf = volume.resolve_parent(r"\a\b\new.txt")
+        assert parent is volume.resolve(r"\a\b")
+        assert leaf == "new.txt"
+
+    def test_resolve_parent_missing_intermediate(self, volume):
+        parent, leaf = volume.resolve_parent(r"\missing\new.txt")
+        assert parent is None
+
+    def test_remove_nonempty_directory_fails(self, volume):
+        make_file(volume, r"\d\x.txt")
+        d = volume.resolve(r"\d")
+        assert volume.remove_node(d, now=1) == NtStatus.DIRECTORY_NOT_EMPTY
+
+    def test_remove_file_releases_space(self, volume):
+        f = make_file(volume, r"\big.bin", 8192)
+        used = volume.bytes_used
+        assert volume.remove_node(f, now=1) == NtStatus.SUCCESS
+        assert volume.bytes_used == used - 8192
+        assert volume.resolve(r"\big.bin") is None
+
+    def test_remove_root_fails(self, volume):
+        assert volume.remove_node(volume.root, now=0) == NtStatus.CANNOT_DELETE
+
+    def test_walk_parents_before_children(self, volume):
+        make_file(volume, r"\a\b\c.txt")
+        paths = [n.full_path() for n in volume.walk()]
+        assert paths.index(r"\a") < paths.index(r"\a\b")
+        assert paths.index(r"\a\b") < paths.index(r"\a\b\c.txt")
+
+
+class TestVolumeSpace:
+    def test_cluster_round(self, volume):
+        assert volume.cluster_round(1) == 4096
+        assert volume.cluster_round(4096) == 4096
+        assert volume.cluster_round(4097) == 8192
+        assert volume.cluster_round(0) == 0
+
+    def test_set_file_size_accounting(self, volume):
+        f = make_file(volume, r"\x.bin")
+        volume.set_file_size(f, 5000, now=1)
+        assert f.size == 5000
+        assert f.allocation_size == 8192
+        assert volume.bytes_used == 8192
+
+    def test_shrink_trims_valid_data(self, volume):
+        f = make_file(volume, r"\x.bin", 10_000)
+        volume.set_file_size(f, 100, now=1)
+        assert f.valid_data_length <= 100
+
+    def test_disk_full(self):
+        v = Volume("S", capacity_bytes=8192)
+        f = make_file(v, r"\a.bin", 4096)
+        assert v.set_file_size(f, 100_000, now=1) == NtStatus.DISK_FULL
+        assert f.size == 4096
+
+    def test_negative_size_rejected(self, volume):
+        f = make_file(volume, r"\x.bin")
+        assert volume.set_file_size(f, -1, now=0) == \
+            NtStatus.INVALID_PARAMETER
+
+    def test_fullness(self):
+        v = Volume("S", capacity_bytes=100 * 4096)
+        make_file(v, r"\a.bin", 50 * 4096)
+        assert v.fullness == pytest.approx(0.5)
+
+
+class TestPersonalities:
+    def test_ntfs_keeps_times(self):
+        v = Volume("N", Volume.NTFS)
+        assert v.maintains_creation_time
+        assert v.maintains_access_time
+
+    def test_fat_drops_times(self):
+        v = Volume("F", Volume.FAT)
+        assert not v.maintains_creation_time
+        assert not v.maintains_access_time
+
+    def test_fat_file_creation_time_zeroed(self):
+        v = Volume("F", Volume.FAT)
+        f = v.create_file(v.root, "a.txt", FileAttributes.NORMAL, now=999)
+        assert f.creation_time == 0
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(ValueError):
+            Volume("X", fs_type="EXT2")
+
+    def test_bad_cluster_size_rejected(self):
+        with pytest.raises(ValueError):
+            Volume("X", cluster_size=3000)
+
+
+class TestMediaPricing:
+    def test_sequential_cheaper(self, volume, rng):
+        f = make_file(volume, r"\big.bin", 1 << 20)
+        first = volume.media_service_ticks(f, 0, 65536, rng)
+        sequential = volume.media_service_ticks(f, 65536, 65536, rng)
+        assert sequential < first
+
+    def test_random_jump_expensive(self, volume, rng):
+        f = make_file(volume, r"\big.bin", 1 << 20)
+        volume.media_service_ticks(f, 0, 4096, rng)
+        jump = volume.media_service_ticks(f, 500_000, 4096, rng)
+        volume.media_service_ticks(f, 504_096, 4096, rng)
+        seq = volume.media_service_ticks(f, 508_192, 4096, rng)
+        assert jump > seq

@@ -1,0 +1,95 @@
+"""Tests for backslash path handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nt.fs.path import (
+    basename,
+    casefold_component,
+    dirname,
+    extension_of,
+    join_path,
+    normalize_path,
+    split_path,
+)
+
+component = st.text(
+    alphabet=st.characters(blacklist_characters="\\/\x00",
+                           min_codepoint=32, max_codepoint=126),
+    min_size=1, max_size=12).filter(lambda s: s.strip())
+
+
+class TestNormalize:
+    def test_root(self):
+        assert normalize_path("\\") == "\\"
+        assert normalize_path("") == "\\"
+
+    def test_collapses_separators(self):
+        assert normalize_path(r"\\winnt\\\system32") == r"\winnt\system32"
+
+    def test_strips_trailing(self):
+        assert normalize_path(r"\a\b\\") == r"\a\b"
+
+    def test_forward_slashes(self):
+        assert normalize_path("/winnt/system32") == r"\winnt\system32"
+
+
+class TestSplitJoin:
+    def test_split(self):
+        assert split_path(r"\a\b\c") == ["a", "b", "c"]
+
+    def test_split_root(self):
+        assert split_path("\\") == []
+
+    def test_join(self):
+        assert join_path("a", "b", "c") == r"\a\b\c"
+
+    def test_join_nested(self):
+        assert join_path(r"\a\b", "c") == r"\a\b\c"
+
+    @given(st.lists(component, max_size=8))
+    def test_roundtrip(self, parts):
+        path = join_path(*parts)
+        assert split_path(path) == parts
+
+
+class TestBasenames:
+    def test_basename(self):
+        assert basename(r"\a\b\file.txt") == "file.txt"
+        assert basename("\\") == ""
+
+    def test_dirname(self):
+        assert dirname(r"\a\b\file.txt") == r"\a\b"
+        assert dirname(r"\file.txt") == "\\"
+        assert dirname("\\") == "\\"
+
+    @given(st.lists(component, min_size=2, max_size=6))
+    def test_dirname_basename_consistency(self, parts):
+        path = join_path(*parts)
+        assert join_path(dirname(path), basename(path)) == path
+
+
+class TestExtension:
+    def test_simple(self):
+        assert extension_of("file.TXT") == "txt"
+
+    def test_none(self):
+        assert extension_of("makefile") == ""
+
+    def test_hidden_style(self):
+        # A leading dot is not an extension separator.
+        assert extension_of(".profile") == ""
+
+    def test_trailing_dot(self):
+        assert extension_of("file.") == ""
+
+    def test_on_full_path(self):
+        assert extension_of(r"\a\b\lib.DLL") == "dll"
+
+    def test_multiple_dots(self):
+        assert extension_of("archive.tar.gz") == "gz"
+
+
+class TestCasefold:
+    def test_casefold(self):
+        assert casefold_component("WinNT") == "winnt"

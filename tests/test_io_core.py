@@ -1,0 +1,168 @@
+"""Tests for IRPs, file objects, device stacks and the I/O manager core."""
+
+import pytest
+
+from repro.common.flags import FileObjectFlags, IrpFlags
+from repro.common.status import NtStatus
+from repro.nt.fs.volume import Volume
+from repro.nt.io.driver import DeviceObject, Driver
+from repro.nt.io.fastio import FastIoOp, FastIoResult
+from repro.nt.io.fileobject import FileObject
+from repro.nt.io.irp import Irp, IrpMajor, IrpMinor
+
+
+class TestIrp:
+    def test_defaults(self):
+        irp = Irp(IrpMajor.READ, None, process_id=4)
+        assert irp.status == NtStatus.PENDING
+        assert irp.minor == IrpMinor.NONE
+        assert irp.returned == 0
+
+    def test_complete(self):
+        irp = Irp(IrpMajor.READ, None, 4)
+        irp.complete(NtStatus.SUCCESS, 512)
+        assert irp.status == NtStatus.SUCCESS
+        assert irp.returned == 512
+
+    def test_paging_detection(self):
+        irp = Irp(IrpMajor.READ, None, 0, flags=IrpFlags.PAGING_IO)
+        assert irp.is_paging_io
+        irp2 = Irp(IrpMajor.READ, None, 0,
+                   flags=IrpFlags.SYNCHRONOUS_PAGING_IO)
+        assert irp2.is_paging_io
+        assert not Irp(IrpMajor.READ, None, 0).is_paging_io
+
+
+class TestFileObject:
+    def _fo(self):
+        vol = Volume("C")
+        return FileObject(1, r"\x.txt", vol, process_id=4, opened_at=0)
+
+    def test_initial_state(self):
+        fo = self._fo()
+        assert fo.ref_count == 1
+        assert not fo.caching_initialized
+        assert not fo.cleanup_done
+
+    def test_reference_counting(self):
+        fo = self._fo()
+        assert fo.reference() == 2
+        assert fo.dereference() == 1
+        assert fo.dereference() == 0
+
+    def test_over_dereference_rejected(self):
+        fo = self._fo()
+        fo.dereference()
+        with pytest.raises(RuntimeError):
+            fo.dereference()
+
+    def test_reference_after_close_rejected(self):
+        fo = self._fo()
+        fo.closed = True
+        with pytest.raises(RuntimeError):
+            fo.reference()
+
+    def test_flags(self):
+        fo = self._fo()
+        fo.set_flag(FileObjectFlags.SEQUENTIAL_ONLY)
+        assert fo.has_flag(FileObjectFlags.SEQUENTIAL_ONLY)
+        assert not fo.has_flag(FileObjectFlags.WRITE_THROUGH)
+
+
+class _RecordingDriver(Driver):
+    """Leaf driver that records what reaches it."""
+
+    def __init__(self, io):
+        super().__init__(io)
+        self.seen = []
+
+    def dispatch(self, irp, device):
+        self.seen.append(irp.major)
+        return irp.complete(NtStatus.SUCCESS)
+
+    def fastio(self, op, irp_like, device):
+        self.seen.append(op)
+        return FastIoResult.ok(123)
+
+
+class TestDeviceStack:
+    def test_filter_passes_down(self, machine):
+        leaf = _RecordingDriver(machine.io)
+        bottom = DeviceObject(leaf, machine.drives["C"], "bottom")
+        passthrough = DeviceObject(Driver(machine.io), None, "filter")
+        passthrough.attach_on_top_of(bottom)
+        assert passthrough.volume is machine.drives["C"]
+        fo = machine.io.allocate_file_object("\\x", machine.drives["C"], 4)
+        irp = Irp(IrpMajor.READ, fo, 4)
+        status = passthrough.driver.dispatch(irp, passthrough)
+        assert status == NtStatus.SUCCESS
+        assert leaf.seen == [IrpMajor.READ]
+
+    def test_fastio_passes_down(self, machine):
+        leaf = _RecordingDriver(machine.io)
+        bottom = DeviceObject(leaf, machine.drives["C"], "bottom")
+        top = DeviceObject(Driver(machine.io), None, "filter")
+        top.attach_on_top_of(bottom)
+        fo = machine.io.allocate_file_object("\\x", machine.drives["C"], 4)
+        irp_like = Irp(IrpMajor.READ, fo, 4)
+        result = top.driver.fastio(FastIoOp.READ, irp_like, top)
+        assert result.handled and result.returned == 123
+
+    def test_bottomless_stack_declines(self, machine):
+        lone = DeviceObject(Driver(machine.io), machine.drives["C"], "lone")
+        fo = machine.io.allocate_file_object("\\x", machine.drives["C"], 4)
+        irp = Irp(IrpMajor.READ, fo, 4)
+        assert lone.driver.dispatch(irp, lone) == \
+            NtStatus.INVALID_DEVICE_REQUEST
+        assert not lone.driver.fastio(FastIoOp.READ, irp, lone).handled
+
+
+class TestIoManager:
+    def test_allocates_unique_fo_ids(self, machine):
+        vol = machine.drives["C"]
+        a = machine.io.allocate_file_object("\\a", vol, 4)
+        b = machine.io.allocate_file_object("\\b", vol, 4)
+        assert a.fo_id != b.fo_id
+
+    def test_unknown_volume_rejected(self, machine):
+        with pytest.raises(KeyError):
+            machine.io.stack_for(Volume("ZZ"))
+
+    def test_send_irp_stamps_timestamps(self, machine, make_file_on,
+                                        process):
+        make_file_on(r"\f.bin", 4096)
+        _, handle = machine.win32.create_file(process, r"C:\f.bin")
+        fo = machine.win32.file_object(process, handle)
+        irp = Irp(IrpMajor.QUERY_INFORMATION, fo, process.pid)
+        machine.io.send_irp(irp)
+        assert irp.t_complete > irp.t_start >= 0
+
+    def test_background_irp_does_not_advance_clock(self, machine,
+                                                   make_file_on, process):
+        make_file_on(r"\f.bin", 4096)
+        _, handle = machine.win32.create_file(process, r"C:\f.bin")
+        fo = machine.win32.file_object(process, handle)
+        before = machine.clock.now
+        irp = Irp(IrpMajor.QUERY_INFORMATION, fo, process.pid)
+        machine.io.send_irp(irp, background=True)
+        assert machine.clock.now == before
+        assert irp.t_complete > irp.t_start
+
+    def test_fastio_result_copied_to_irp(self, machine, make_file_on,
+                                         process):
+        make_file_on(r"\f.bin", 8192)
+        w = machine.win32
+        _, handle = w.create_file(process, r"C:\f.bin")
+        # First read initialises caching over the IRP path.
+        w.read_file(process, handle, 4096)
+        fo = w.file_object(process, handle)
+        assert fo.caching_initialized
+        irp_like = Irp(IrpMajor.READ, fo, process.pid, offset=4096,
+                       length=4096)
+        result = machine.io.try_fastio(FastIoOp.READ, irp_like)
+        assert result.handled
+        assert irp_like.returned == result.returned == 4096
+        assert irp_like.status == NtStatus.SUCCESS
+
+    def test_volumes_listing(self, machine):
+        assert machine.drives["C"] in machine.io.volumes

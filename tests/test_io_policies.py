@@ -1,0 +1,144 @@
+"""Tests for I/O-manager dispatch policy details."""
+
+import pytest
+
+from repro.common.flags import (
+    CreateDisposition,
+    CreateOptions,
+    FileAccess,
+    FileObjectFlags,
+)
+from repro.common.status import NtStatus
+from repro.nt.system import Machine, MachineConfig
+from repro.nt.tracing.records import TraceEventKind
+
+
+def records_of(machine):
+    for filt in machine.trace_filters:
+        filt.flush()
+    return machine.collector.records
+
+
+class TestFastIoFallback:
+    def test_no_buffering_never_uses_fastio(self, machine, process,
+                                            make_file_on):
+        make_file_on(r"\f.bin", 65536)
+        w = machine.win32
+        _s, h = w.create_file(
+            process, r"C:\f.bin",
+            options=CreateOptions.NO_INTERMEDIATE_BUFFERING)
+        for _ in range(3):
+            w.read_file(process, h, 4096)
+        w.close_handle(process, h)
+        kinds = [r.kind for r in records_of(machine)]
+        assert int(TraceEventKind.FASTIO_READ) not in kinds
+
+    def test_eof_error_on_fastio_does_not_retry_irp(self, machine, process,
+                                                    make_file_on):
+        make_file_on(r"\f.bin", 4096)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin")
+        w.read_file(process, h, 4096)          # IRP; initialises caching
+        w.read_file(process, h, 4096)          # FastIO EOF error
+        w.close_handle(process, h)
+        reads = [r for r in records_of(machine)
+                 if not r.is_paging
+                 and r.kind in (int(TraceEventKind.IRP_READ),
+                                int(TraceEventKind.FASTIO_READ))]
+        # Exactly one IRP read (the first); the EOF error completed over
+        # FastIO and must not have been retried on the IRP path.
+        irp_reads = [r for r in reads
+                     if r.kind == int(TraceEventKind.IRP_READ)]
+        assert len(irp_reads) == 1
+
+    def test_decline_produces_irp_retry(self, machine, process,
+                                        make_file_on):
+        # Force a 100% FastIO decline rate and confirm the retry.
+        import repro.nt.fs.driver as driver_module
+        make_file_on(r"\f.bin", 65536)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin")
+        w.read_file(process, h, 4096)
+        original = driver_module._FASTIO_DECLINE_PROBABILITY
+        driver_module._FASTIO_DECLINE_PROBABILITY = 1.0
+        try:
+            status, got = w.read_file(process, h, 4096)
+            assert status == NtStatus.SUCCESS and got == 4096
+        finally:
+            driver_module._FASTIO_DECLINE_PROBABILITY = original
+        w.close_handle(process, h)
+        reads = [r for r in records_of(machine)
+                 if not r.is_paging
+                 and r.kind == int(TraceEventKind.IRP_READ)]
+        assert len(reads) == 2  # initial + the declined retry
+
+
+class TestTwoStageCloseSafety:
+    def test_no_double_close(self, machine, process, make_file_on):
+        make_file_on(r"\f.bin", 4096)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin")
+        w.read_file(process, h, 4096)
+        fo = w.file_object(process, h)
+        w.close_handle(process, h)
+        machine.run_until(machine.clock.now + 10_000_000)
+        closes = [r for r in records_of(machine)
+                  if r.kind == int(TraceEventKind.IRP_CLOSE)
+                  and r.fo_id == fo.fo_id]
+        assert len(closes) == 1
+
+    def test_cleanup_precedes_close(self, machine, process, make_file_on):
+        make_file_on(r"\f.bin", 4096)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin")
+        w.read_file(process, h, 4096)
+        fo = w.file_object(process, h)
+        w.close_handle(process, h)
+        machine.run_until(machine.clock.now + 10_000_000)
+        mine = [r for r in records_of(machine) if r.fo_id == fo.fo_id]
+        cleanup_t = [r.t_start for r in mine
+                     if r.kind == int(TraceEventKind.IRP_CLEANUP)][0]
+        close_t = [r.t_start for r in mine
+                   if r.kind == int(TraceEventKind.IRP_CLOSE)][0]
+        assert close_t >= cleanup_t
+
+
+class TestWriteThroughIrpFlag:
+    def test_write_through_fo_flag_respected_via_irp_path(self, machine,
+                                                          process):
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\wt.bin",
+                              access=FileAccess.GENERIC_WRITE,
+                              disposition=CreateDisposition.CREATE,
+                              options=CreateOptions.WRITE_THROUGH)
+        # First write goes down the IRP path and must flush synchronously.
+        w.write_file(process, h, 4096)
+        fo = w.file_object(process, h)
+        assert not fo.node.cache_map.dirty
+        # Subsequent FastIO writes flush too.
+        w.write_file(process, h, 4096)
+        assert not fo.node.cache_map.dirty
+        w.close_handle(process, h)
+
+
+class TestCpuScaling:
+    def _measure_control_cost(self, cpu_mhz):
+        from repro.nt.fs.volume import Volume
+        from tests.conftest import make_file
+        m = Machine(MachineConfig(name="cpu", seed=3, cpu_mhz=cpu_mhz))
+        vol = Volume("C", capacity_bytes=1 << 30)
+        make_file(vol, r"\f.txt", 100)
+        m.mount("C", vol)
+        p = m.create_process("t.exe")
+        costs = []
+        for _ in range(40):
+            t0 = m.clock.now
+            m.win32.get_file_attributes(p, r"C:\f.txt")
+            costs.append(m.clock.now - t0)
+        costs.sort()
+        return costs[len(costs) // 2]  # median, dodging metadata misses
+
+    def test_faster_cpu_faster_control_ops(self):
+        slow = self._measure_control_cost(200)
+        fast = self._measure_control_cost(450)
+        assert fast < slow

@@ -1,0 +1,86 @@
+"""Additional property-based tests: sharing arbitration, empirical
+samplers, run extraction."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.common.flags import FileAccess, ShareMode
+from repro.nt.fs.sharing import sharing_permits
+from repro.stats.distributions import Empirical
+
+access_bits = st.sampled_from([
+    0,
+    int(FileAccess.READ_ATTRIBUTES),
+    int(FileAccess.GENERIC_READ),
+    int(FileAccess.GENERIC_WRITE),
+    int(FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE),
+    int(FileAccess.DELETE),
+])
+share_bits = st.sampled_from([
+    int(ShareMode.NONE), int(ShareMode.READ), int(ShareMode.WRITE),
+    int(ShareMode.READ | ShareMode.WRITE), int(ShareMode.ALL),
+])
+grant = st.tuples(access_bits, share_bits)
+
+
+class TestSharingProperties:
+    @given(access=access_bits, share=share_bits)
+    def test_empty_always_admits(self, access, share):
+        assert sharing_permits([], access, share)
+
+    @given(existing=st.lists(grant, max_size=4), access=access_bits,
+           share=share_bits)
+    @settings(max_examples=200)
+    def test_monotone_in_existing(self, existing, access, share):
+        # Adding more existing opens can only forbid, never allow.
+        full = sharing_permits(existing, access, share)
+        for i in range(len(existing)):
+            subset = existing[:i] + existing[i + 1:]
+            if full:
+                assert sharing_permits(subset, access, share)
+
+    @given(existing=st.lists(grant, min_size=1, max_size=4),
+           access=access_bits)
+    @settings(max_examples=200)
+    def test_share_all_maximally_permissive(self, existing, access):
+        # If ShareMode.ALL is refused, every other share mode is refused.
+        if not sharing_permits(existing, access, int(ShareMode.ALL)):
+            for share in (int(ShareMode.NONE), int(ShareMode.READ),
+                          int(ShareMode.WRITE)):
+                assert not sharing_permits(existing, access, share)
+
+    @given(existing=st.lists(grant, max_size=4), share=share_bits)
+    @settings(max_examples=200)
+    def test_attribute_only_always_admitted(self, existing, share):
+        assert sharing_permits(existing, int(FileAccess.READ_ATTRIBUTES),
+                               share)
+
+    @given(a=grant, b=grant)
+    @settings(max_examples=200)
+    def test_pairwise_symmetry(self, a, b):
+        # If B is admitted after A, then A would be admitted after B:
+        # the compatibility test is symmetric for a single pair.
+        assert sharing_permits([a], b[0], b[1]) == \
+            sharing_permits([b], a[0], a[1])
+
+
+class TestEmpiricalProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=400))
+    @settings(max_examples=100)
+    def test_samples_within_hull(self, data):
+        e = Empirical(data)
+        rng = np.random.default_rng(0)
+        samples = e.sample_many(rng, 100)
+        assert samples.min() >= min(data) - 1e-9
+        assert samples.max() <= max(data) + 1e-9
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e6,
+                              allow_nan=False), min_size=20, max_size=400))
+    @settings(max_examples=50)
+    def test_median_within_data_iqr(self, data):
+        e = Empirical(data)
+        rng = np.random.default_rng(1)
+        samples = e.sample_many(rng, 2000)
+        lo, hi = np.percentile(data, [10, 90])
+        assert lo - 1e-9 <= np.median(samples) <= hi + 1e-9

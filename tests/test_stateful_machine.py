@@ -1,0 +1,159 @@
+"""Property-based stateful testing of the whole machine.
+
+A random sequence of Win32 operations is thrown at one machine while
+system invariants are checked after every step: cache-state consistency,
+volume space accounting, reference counts, trace monotonicity.  This is
+the failure-injection net for the substrate — any operation interleaving
+that corrupts kernel state fails here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common.clock import TICKS_PER_SECOND
+from repro.common.flags import (
+    CreateDisposition,
+    CreateOptions,
+    FileAccess,
+    FileAttributes,
+)
+from repro.nt.fs.nodes import FileNode
+from repro.nt.fs.volume import Volume
+from repro.nt.system import Machine, MachineConfig
+
+_NAMES = [f"f{i:02d}.dat" for i in range(8)]
+
+
+class MachineOps(RuleBasedStateMachine):
+    """Random file operations against one traced machine."""
+
+    handles = Bundle("handles")
+
+    @initialize()
+    def setup(self) -> None:
+        self.machine = Machine(MachineConfig(
+            name="fuzz", seed=99, memory_mb=64,
+            cache_memory_fraction=0.002))  # tiny cache: force evictions
+        self.volume = Volume("C", capacity_bytes=256 << 20)
+        self.machine.mount("C", self.volume)
+        self.process = self.machine.create_process("fuzz.exe")
+
+    # ------------------------------------------------------------------ #
+    # Rules.
+
+    @rule(target=handles, name=st.sampled_from(_NAMES),
+          disposition=st.sampled_from([CreateDisposition.OPEN,
+                                       CreateDisposition.OPEN_IF,
+                                       CreateDisposition.CREATE,
+                                       CreateDisposition.OVERWRITE_IF]),
+          temporary=st.booleans())
+    def open_file(self, name, disposition, temporary):
+        attributes = (FileAttributes.TEMPORARY if temporary
+                      else FileAttributes.NORMAL)
+        status, handle = self.machine.win32.create_file(
+            self.process, "C:\\" + name,
+            access=FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE,
+            disposition=disposition, attributes=attributes)
+        return handle  # may be None on legitimate failures
+
+    @rule(handle=handles, length=st.integers(min_value=1, max_value=300_000),
+          offset=st.integers(min_value=0, max_value=1 << 20))
+    def write(self, handle, length, offset):
+        if handle is not None and handle in self.process.handles:
+            self.machine.win32.write_file(self.process, handle, length,
+                                          offset=offset)
+
+    @rule(handle=handles, length=st.integers(min_value=1, max_value=300_000),
+          offset=st.integers(min_value=0, max_value=1 << 21))
+    def read(self, handle, length, offset):
+        if handle is not None and handle in self.process.handles:
+            self.machine.win32.read_file(self.process, handle, length,
+                                         offset=offset)
+
+    @rule(handle=handles, size=st.integers(min_value=0, max_value=1 << 20))
+    def truncate(self, handle, size):
+        if handle is not None and handle in self.process.handles:
+            self.machine.win32.set_end_of_file(self.process, handle, size)
+
+    @rule(handle=handles)
+    def flush(self, handle):
+        if handle is not None and handle in self.process.handles:
+            self.machine.win32.flush_file_buffers(self.process, handle)
+
+    @rule(handle=handles)
+    def close(self, handle):
+        if handle is not None and handle in self.process.handles:
+            self.machine.win32.close_handle(self.process, handle)
+
+    @rule(name=st.sampled_from(_NAMES))
+    def delete(self, name):
+        self.machine.win32.delete_file(self.process, "C:\\" + name)
+
+    @rule()
+    def let_time_pass(self):
+        self.machine.run_until(self.machine.clock.now + TICKS_PER_SECOND)
+
+    # ------------------------------------------------------------------ #
+    # Invariants.
+
+    @invariant()
+    def cache_state_consistent(self):
+        for node in self.volume.walk():
+            if isinstance(node, FileNode) and node.cache_map is not None:
+                cmap = node.cache_map
+                assert cmap.dirty <= cmap.pages, "dirty pages not resident"
+                if node.size > 0:
+                    max_page = (node.size + 4095) // 4096
+                    assert all(p < max_page for p in cmap.pages), \
+                        "cached pages beyond EOF"
+
+    @invariant()
+    def space_accounting_consistent(self):
+        total_alloc = sum(n.allocation_size for n in self.volume.walk()
+                          if isinstance(n, FileNode))
+        assert self.volume.bytes_used == total_alloc
+        assert self.volume.bytes_used <= self.volume.capacity_bytes
+
+    @invariant()
+    def valid_data_within_size(self):
+        for node in self.volume.walk():
+            if isinstance(node, FileNode):
+                assert node.valid_data_length <= node.size
+                assert node.open_count >= 0
+
+    @invariant()
+    def cache_within_budget_plus_dirty(self):
+        cc = self.machine.cc
+        # Dirty pages may pin the cache above budget; bounded regardless.
+        assert cc.resident_pages <= cc.capacity_pages + 1 or any(
+            m.dirty for m in cc.dirty_maps)
+
+    @invariant()
+    def share_grants_match_open_counts(self):
+        for node in self.volume.walk():
+            if isinstance(node, FileNode):
+                assert len(node.share_grants) <= node.open_count + 1
+
+    def teardown(self):
+        # Drain pending closes; nothing should raise.
+        self.machine.run_until(self.machine.clock.now
+                               + 5 * TICKS_PER_SECOND)
+        for filt in self.machine.trace_filters:
+            filt.flush()
+        records = self.machine.collector.records
+        assert all(r.t_end >= r.t_start for r in records)
+
+
+MachineOpsTest = MachineOps.TestCase
+MachineOpsTest.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

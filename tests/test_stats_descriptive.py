@@ -1,0 +1,129 @@
+"""Tests for descriptive statistics and CDF construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.descriptive import (
+    Summary,
+    cdf_points,
+    cdf_quantile,
+    cdf_value_at,
+    percentile,
+    summarize,
+    weighted_cdf_points,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_empty_gives_nans(self):
+        s = summarize([])
+        assert s.count == 0
+        assert np.isnan(s.mean)
+
+    def test_single_value_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_percentile_helper(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+        assert np.isnan(percentile([], 50))
+
+
+class TestCdfPoints:
+    def test_reaches_one(self):
+        x, p = cdf_points([3, 1, 2])
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_distinct_values(self):
+        x, p = cdf_points([1, 1, 2, 2, 2])
+        assert list(x) == [1.0, 2.0]
+        assert p[0] == pytest.approx(0.4)
+
+    def test_empty(self):
+        x, p = cdf_points([])
+        assert x.size == 0 and p.size == 0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_monotone_nondecreasing(self, values):
+        x, p = cdf_points(values)
+        assert np.all(np.diff(x) > 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_matches_manual_fraction(self, values):
+        x, p = cdf_points(values)
+        probe = values[0]
+        expected = sum(1 for v in values if v <= probe) / len(values)
+        assert cdf_value_at(x, p, probe) == pytest.approx(expected)
+
+
+class TestWeightedCdf:
+    def test_weights_shift_mass(self):
+        # One big item holding 90% of the weight.
+        x, p = weighted_cdf_points([1, 10], [1, 9])
+        assert p[0] == pytest.approx(0.1)
+        assert p[1] == pytest.approx(1.0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_cdf_points([1, 2], [1])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_cdf_points([1], [-1])
+
+    def test_zero_total_weight(self):
+        x, p = weighted_cdf_points([1, 2], [0, 0])
+        assert x.size == 0
+
+    def test_duplicate_values_grouped(self):
+        x, p = weighted_cdf_points([5, 5, 6], [1, 1, 2])
+        assert list(x) == [5.0, 6.0]
+        assert p[0] == pytest.approx(0.5)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0.01, max_value=100, allow_nan=False)),
+        min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_monotone(self, pairs):
+        values = [v for v, _w in pairs]
+        weights = [w for _v, w in pairs]
+        x, p = weighted_cdf_points(values, weights)
+        assert np.all(np.diff(p) >= -1e-12)
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestCdfReaders:
+    def test_quantile(self):
+        x, p = cdf_points([1, 2, 3, 4])
+        assert cdf_quantile(x, p, 0.5) == 2.0
+        assert cdf_quantile(x, p, 1.0) == 4.0
+
+    def test_quantile_bounds(self):
+        x, p = cdf_points([1, 2])
+        with pytest.raises(ValueError):
+            cdf_quantile(x, p, 0.0)
+
+    def test_value_below_support(self):
+        x, p = cdf_points([10, 20])
+        assert cdf_value_at(x, p, 5) == 0.0
+
+    def test_empty_readers(self):
+        x, p = cdf_points([])
+        assert np.isnan(cdf_value_at(x, p, 1))
+        assert np.isnan(cdf_quantile(x, p, 0.5))

@@ -1,0 +1,208 @@
+"""Tests for the seeded samplers, including property-based checks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.distributions import (
+    BoundedPareto,
+    Choice,
+    Constant,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    OnOffProcess,
+    Pareto,
+    Uniform,
+    Zipf,
+)
+
+
+def fresh_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstant:
+    def test_sample(self):
+        assert Constant(7.5).sample(fresh_rng()) == 7.5
+
+    def test_sample_many(self):
+        arr = Constant(3.0).sample_many(fresh_rng(), 10)
+        assert np.all(arr == 3.0)
+
+    def test_sample_int_floor(self):
+        assert Constant(-5).sample_int(fresh_rng(), minimum=1) == 1
+
+
+class TestUniform:
+    def test_range(self):
+        rng = fresh_rng()
+        u = Uniform(2.0, 5.0)
+        samples = u.sample_many(rng, 1000)
+        assert samples.min() >= 2.0
+        assert samples.max() < 5.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 2.0)
+
+
+class TestExponential:
+    def test_mean_recovery(self):
+        samples = Exponential(4.0).sample_many(fresh_rng(), 20_000)
+        assert samples.mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0)
+
+
+class TestPareto:
+    def test_support(self):
+        samples = Pareto(1.5, xm=10.0).sample_many(fresh_rng(), 5000)
+        assert samples.min() >= 10.0
+
+    def test_mean_formula(self):
+        assert Pareto(2.0, xm=1.0).mean() == pytest.approx(2.0)
+        assert math.isinf(Pareto(0.9, xm=1.0).mean())
+
+    def test_heavier_alpha_means_smaller_tail(self):
+        rng = fresh_rng(3)
+        light = Pareto(3.0, 1.0).sample_many(rng, 20_000)
+        heavy = Pareto(1.1, 1.0).sample_many(rng, 20_000)
+        assert np.percentile(heavy, 99) > np.percentile(light, 99)
+
+    def test_ccdf_matches_theory(self):
+        # P[X > 2*xm] = 2^-alpha.
+        alpha = 1.5
+        samples = Pareto(alpha, 1.0).sample_many(fresh_rng(7), 100_000)
+        empirical = np.mean(samples > 2.0)
+        assert empirical == pytest.approx(2 ** -alpha, rel=0.1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Pareto(0, 1)
+        with pytest.raises(ValueError):
+            Pareto(1, 0)
+
+    @given(st.floats(min_value=0.5, max_value=3.0),
+           st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=30)
+    def test_samples_respect_minimum(self, alpha, xm):
+        samples = Pareto(alpha, xm).sample_many(fresh_rng(1), 200)
+        assert np.all(samples >= xm)
+
+
+class TestBoundedPareto:
+    def test_support(self):
+        samples = BoundedPareto(1.2, 10, 1000).sample_many(fresh_rng(), 5000)
+        assert samples.min() >= 10
+        assert samples.max() <= 1000
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 10, 5)
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 0, 5)
+
+    def test_scalar_sample_in_range(self):
+        bp = BoundedPareto(1.5, 1, 100)
+        rng = fresh_rng(2)
+        for _ in range(100):
+            assert 1 <= bp.sample(rng) <= 100
+
+
+class TestLogNormal:
+    def test_median_recovery(self):
+        samples = LogNormal(1000.0, 1.0).sample_many(fresh_rng(5), 50_000)
+        assert np.median(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_positive(self):
+        samples = LogNormal(10.0, 2.0).sample_many(fresh_rng(), 1000)
+        assert np.all(samples > 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(0, 1)
+        with pytest.raises(ValueError):
+            LogNormal(1, 0)
+
+
+class TestHyperExponential:
+    def test_mean_is_weighted(self):
+        h = HyperExponential([(0.5, 1.0), (0.5, 9.0)])
+        samples = h.sample_many(fresh_rng(9), 50_000)
+        assert samples.mean() == pytest.approx(5.0, rel=0.1)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            HyperExponential([(0.5, 1.0), (0.6, 2.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HyperExponential([])
+
+    def test_scalar_sample_positive(self):
+        h = HyperExponential([(1.0, 2.0)])
+        assert h.sample(fresh_rng()) > 0
+
+
+class TestZipf:
+    def test_rank_zero_most_common(self):
+        samples = Zipf(100, 1.2).sample_many(fresh_rng(4), 20_000)
+        counts = np.bincount(samples.astype(int), minlength=100)
+        assert counts[0] == counts.max()
+
+    def test_ranks_in_range(self):
+        samples = Zipf(10).sample_many(fresh_rng(), 1000)
+        assert samples.min() >= 0
+        assert samples.max() < 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Zipf(0)
+        with pytest.raises(ValueError):
+            Zipf(10, 0)
+
+
+class TestChoice:
+    def test_values_come_from_set(self):
+        c = Choice([(512, 1.0), (4096, 1.0)])
+        samples = c.sample_many(fresh_rng(), 500)
+        assert set(np.unique(samples)) <= {512.0, 4096.0}
+
+    def test_weights_respected(self):
+        c = Choice([(1, 9.0), (2, 1.0)])
+        samples = c.sample_many(fresh_rng(8), 20_000)
+        assert np.mean(samples == 1) == pytest.approx(0.9, abs=0.02)
+
+    def test_rejects_empty_and_bad_weights(self):
+        with pytest.raises(ValueError):
+            Choice([])
+        with pytest.raises(ValueError):
+            Choice([(1, -1.0)])
+        with pytest.raises(ValueError):
+            Choice([(1, 0.0)])
+
+
+class TestOnOffProcess:
+    def test_periods_cover_and_respect_horizon(self):
+        proc = OnOffProcess(Constant(5.0), Constant(3.0))
+        periods = list(proc.periods(fresh_rng(), horizon=20.0))
+        assert periods == [(0.0, 5.0), (8.0, 13.0), (16.0, 20.0)]
+
+    def test_periods_are_ordered_and_disjoint(self):
+        proc = OnOffProcess(Exponential(2.0), Exponential(1.0))
+        periods = list(proc.periods(fresh_rng(6), horizon=100.0))
+        for (s1, e1), (s2, e2) in zip(periods, periods[1:]):
+            assert s1 < e1 <= s2 < e2
+        assert all(e <= 100.0 for _s, e in periods)
+
+    @given(st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=20)
+    def test_never_exceeds_horizon(self, horizon):
+        proc = OnOffProcess(Pareto(1.5, 1.0), Pareto(1.5, 1.0))
+        for start, end in proc.periods(fresh_rng(2), horizon):
+            assert 0 <= start < end <= horizon

@@ -1,0 +1,127 @@
+"""Tests for the Hill estimator and LLCD tail fits: the estimators must
+recover a known Pareto tail index — the core of the paper's §7 claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.distributions import LogNormal, Pareto
+from repro.stats.heavy_tail import (
+    TailFit,
+    fit_tail_index,
+    hill_estimator,
+    hill_plot,
+    llcd_points,
+    pareto_mle,
+)
+
+
+def pareto_sample(alpha, n=20_000, seed=0):
+    return Pareto(alpha, 1.0).sample_many(np.random.default_rng(seed), n)
+
+
+class TestHillEstimator:
+    @pytest.mark.parametrize("alpha", [1.0, 1.5, 2.0])
+    def test_recovers_known_alpha(self, alpha):
+        samples = pareto_sample(alpha)
+        est = hill_estimator(samples, k=2000)
+        assert est == pytest.approx(alpha, rel=0.15)
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            hill_estimator([1.0, 2.0], k=5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            hill_estimator([1.0, 2.0, 3.0], k=0)
+
+    def test_ignores_nonpositive(self):
+        samples = np.concatenate([pareto_sample(1.5, 5000), [-1, 0, -5]])
+        est = hill_estimator(samples, k=500)
+        assert est == pytest.approx(1.5, rel=0.2)
+
+    def test_hill_plot_shape(self):
+        samples = pareto_sample(1.3, 2000)
+        ks, alphas = hill_plot(samples)
+        assert ks.size == alphas.size
+        assert ks.size >= 10
+
+    def test_hill_plot_needs_samples(self):
+        with pytest.raises(ValueError):
+            hill_plot([1.0] * 10)
+
+
+class TestLlcd:
+    def test_points_decrease(self):
+        lx, ly = llcd_points(pareto_sample(1.5, 2000))
+        assert np.all(np.diff(lx) > 0)
+        assert np.all(np.diff(ly) < 1e-12)
+
+    def test_excludes_zero_ccdf(self):
+        lx, ly = llcd_points([1, 2, 3])
+        # The maximum value has empirical CCDF 0 and must be dropped.
+        assert lx.size == 2
+
+    def test_empty_for_tiny_samples(self):
+        lx, ly = llcd_points([1])
+        assert lx.size == 0
+
+    def test_pareto_is_linear(self):
+        lx, ly = llcd_points(pareto_sample(1.5, 50_000, seed=3))
+        # Whole-range linear fit should be excellent for a pure Pareto.
+        slope, intercept = np.polyfit(lx, ly, 1)
+        pred = slope * lx + intercept
+        ss_res = np.sum((ly - pred) ** 2)
+        ss_tot = np.sum((ly - ly.mean()) ** 2)
+        assert 1 - ss_res / ss_tot > 0.98
+
+
+class TestFitTailIndex:
+    @pytest.mark.parametrize("alpha", [1.2, 1.7])
+    def test_recovers_alpha(self, alpha):
+        fit = fit_tail_index(pareto_sample(alpha, 50_000, seed=5))
+        assert fit.alpha == pytest.approx(alpha, rel=0.2)
+        assert fit.infinite_variance
+
+    def test_lognormal_not_flagged_infinite_mean(self):
+        samples = LogNormal(100.0, 0.5).sample_many(
+            np.random.default_rng(0), 50_000)
+        fit = fit_tail_index(samples)
+        # A thin lognormal's LLCD drops off: large fitted alpha.
+        assert fit.alpha > 2.0
+        assert not fit.infinite_variance
+
+    def test_infinite_mean_classification(self):
+        fit = TailFit(alpha=0.8, intercept=0, r_squared=1, n_tail_points=10)
+        assert fit.infinite_mean and fit.infinite_variance
+        fit2 = TailFit(alpha=1.4, intercept=0, r_squared=1, n_tail_points=10)
+        assert not fit2.infinite_mean and fit2.infinite_variance
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            fit_tail_index([1, 2, 3], tail_fraction=0.0)
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            fit_tail_index([1, 2, 3])
+
+
+class TestParetoMle:
+    def test_recovers_parameters(self):
+        samples = Pareto(1.4, xm=3.0).sample_many(
+            np.random.default_rng(2), 50_000)
+        alpha, xm = pareto_mle(samples)
+        assert alpha == pytest.approx(1.4, rel=0.05)
+        assert xm == pytest.approx(3.0, rel=0.01)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            pareto_mle([1.0])
+
+    @given(st.floats(min_value=0.8, max_value=2.5))
+    @settings(max_examples=15)
+    def test_alpha_estimate_close(self, alpha):
+        samples = Pareto(alpha, 1.0).sample_many(
+            np.random.default_rng(9), 20_000)
+        est, _xm = pareto_mle(samples)
+        assert est == pytest.approx(alpha, rel=0.1)

@@ -1,0 +1,81 @@
+"""Tests for NTSTATUS codes and flag enumerations."""
+
+from repro.common.flags import (
+    CreateDisposition,
+    CreateOptions,
+    FileAccess,
+    FileAttributes,
+    FileObjectFlags,
+    IrpFlags,
+    ShareMode,
+)
+from repro.common.status import NtStatus
+
+
+class TestNtStatus:
+    def test_success_is_success(self):
+        assert NtStatus.SUCCESS.is_success
+        assert not NtStatus.SUCCESS.is_error
+
+    def test_informational_is_success(self):
+        assert NtStatus.NO_MORE_FILES.is_success
+        assert NtStatus.BUFFER_OVERFLOW.is_success
+
+    def test_errors_are_errors(self):
+        for status in (NtStatus.OBJECT_NAME_NOT_FOUND,
+                       NtStatus.OBJECT_NAME_COLLISION,
+                       NtStatus.END_OF_FILE,
+                       NtStatus.DELETE_PENDING,
+                       NtStatus.DISK_FULL):
+            assert status.is_error
+            assert not status.is_success
+
+    def test_values_match_nt(self):
+        assert NtStatus.OBJECT_NAME_NOT_FOUND == 0xC0000034
+        assert NtStatus.OBJECT_NAME_COLLISION == 0xC0000035
+        assert NtStatus.END_OF_FILE == 0xC0000011
+        assert NtStatus.SUCCESS == 0
+
+    def test_error_threshold(self):
+        # The severity boundary used throughout the analysis code.
+        assert all(s.is_error == (s.value >= 0xC0000000) for s in NtStatus)
+
+
+class TestFlags:
+    def test_generic_read_includes_read_data(self):
+        assert FileAccess.GENERIC_READ & FileAccess.READ_DATA
+
+    def test_generic_write_includes_write_and_append(self):
+        assert FileAccess.GENERIC_WRITE & FileAccess.WRITE_DATA
+        assert FileAccess.GENERIC_WRITE & FileAccess.APPEND_DATA
+
+    def test_share_all_composition(self):
+        assert ShareMode.ALL == (ShareMode.READ | ShareMode.WRITE
+                                 | ShareMode.DELETE)
+
+    def test_dispositions_distinct(self):
+        values = {d.value for d in CreateDisposition}
+        assert len(values) == 6
+
+    def test_paging_flags_disjoint_from_write_through(self):
+        assert not (IrpFlags.PAGING_IO & IrpFlags.WRITE_THROUGH)
+        assert not (IrpFlags.SYNCHRONOUS_PAGING_IO & IrpFlags.PAGING_IO)
+
+    def test_paging_mask_covers_both_bits(self):
+        # The analysis layer uses 0x42 as the paging mask.
+        mask = IrpFlags.PAGING_IO | IrpFlags.SYNCHRONOUS_PAGING_IO
+        assert int(mask) == 0x42
+
+    def test_directory_attribute(self):
+        assert FileAttributes.DIRECTORY & ~FileAttributes.NORMAL
+
+    def test_temporary_attribute_value(self):
+        assert FileAttributes.TEMPORARY == 0x100
+
+    def test_create_options_distinct(self):
+        values = [o.value for o in CreateOptions if o.value]
+        assert len(values) == len(set(values))
+
+    def test_file_object_flags_distinct(self):
+        values = [f.value for f in FileObjectFlags if f.value]
+        assert len(values) == len(set(values))

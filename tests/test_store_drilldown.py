@@ -1,0 +1,204 @@
+"""Tests for trace persistence, drill-down cubes, timestamps, and locks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.content import analyze_content
+from repro.analysis.drilldown import (
+    by_file_type,
+    by_process,
+    category_of,
+    format_process_table,
+    format_type_table,
+    group_of,
+)
+from repro.analysis.warehouse import TraceWarehouse
+from repro.common.flags import CreateDisposition, FileAccess
+from repro.common.status import NtStatus
+from repro.nt.tracing.records import TraceEventKind
+from repro.nt.tracing.store import (
+    load_collector,
+    load_study,
+    save_collector,
+    save_study,
+)
+
+
+class TestStore:
+    def test_roundtrip_collector(self, small_study, tmp_path):
+        original = small_study.collectors[0]
+        path = tmp_path / "m0.nttrace"
+        n_bytes = save_collector(original, path)
+        assert n_bytes > 0
+        loaded = load_collector(path)
+        assert loaded.machine_name == original.machine_name
+        assert len(loaded.records) == len(original.records)
+        assert loaded.records[:100] == original.records[:100]
+        assert loaded.name_records == original.name_records
+        assert loaded.process_names == original.process_names
+        assert loaded.process_interactive == original.process_interactive
+        assert len(loaded.snapshots) == len(original.snapshots)
+        assert loaded.snapshots[0][2] == original.snapshots[0][2]
+
+    def test_compression_effective(self, small_study, tmp_path):
+        original = small_study.collectors[0]
+        path = tmp_path / "m0.nttrace"
+        n_bytes = save_collector(original, path)
+        raw_size = len(original.records) * 15 * 8
+        assert n_bytes < raw_size / 2  # at least 2x compression
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.nttrace"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(ValueError):
+            load_collector(path)
+
+    def test_study_roundtrip(self, small_study, tmp_path):
+        paths = save_study(small_study.collectors[:2], tmp_path / "study")
+        assert len(paths) == 2
+        loaded = load_study(tmp_path / "study")
+        assert [c.machine_name for c in loaded] == \
+            sorted(c.machine_name for c in small_study.collectors[:2])
+
+    def test_loaded_study_analyzable(self, small_study, tmp_path):
+        save_study(small_study.collectors, tmp_path / "study")
+        loaded = load_study(tmp_path / "study")
+        wh = TraceWarehouse(loaded)
+        assert wh.n_records == small_study.total_records
+        assert len(wh.instances) > 0
+
+
+class TestDrilldownCategories:
+    def test_known_extensions(self):
+        assert category_of("mbx") == "mail files"
+        assert category_of("DLL") == "executables"
+        assert category_of("h") == "source files"
+
+    def test_unknown_extension(self):
+        assert category_of("xyz") == "other"
+
+    def test_groups_roll_up(self):
+        assert group_of("mbx") == "application files"
+        assert group_of("exe") == "system files"
+        assert group_of("pch") == "development files"
+
+
+class TestByProcess:
+    def test_profiles_built(self, small_warehouse):
+        profiles = by_process(small_warehouse)
+        assert "explorer.exe" in profiles
+        total_opens = sum(p.n_opens for p in profiles.values())
+        assert total_opens == len(small_warehouse.instances)
+
+    def test_explorer_control_heavy(self, small_warehouse):
+        profiles = by_process(small_warehouse)
+        explorer = profiles["explorer.exe"]
+        assert explorer.control_share_pct > 50
+
+    def test_services_long_holds(self, small_warehouse):
+        # §8.1: services keep files open for the whole session.
+        profiles = by_process(small_warehouse)
+        services = profiles.get("services.exe")
+        if services is not None and services.session_durations:
+            assert services.long_hold_share_pct >= 0  # present and computed
+
+    def test_format_renders(self, small_warehouse):
+        text = format_process_table(by_process(small_warehouse))
+        assert "explorer.exe" in text
+
+
+class TestByFileType:
+    def test_profiles_built(self, small_warehouse):
+        profiles = by_file_type(small_warehouse)
+        assert profiles
+        assert all(p.n_data_opens <= p.n_opens for p in profiles.values())
+
+    def test_size_summaries(self, small_warehouse):
+        profiles = by_file_type(small_warehouse)
+        for p in profiles.values():
+            if p.file_sizes:
+                s = p.size_summary()
+                assert s.minimum <= s.median <= s.maximum
+
+    def test_format_renders(self, small_warehouse):
+        assert "category" in format_type_table(by_file_type(small_warehouse))
+
+
+class TestTimestampReliability:
+    def test_inconsistency_measured(self, small_warehouse):
+        content = analyze_content(small_warehouse)
+        ts = content.timestamps
+        assert ts.n_files_examined > 0
+        # §5: a small but nonzero share of files has last-write more
+        # recent than last-access (installer-stamped files).
+        assert 0 <= ts.inconsistent_pct < 30
+
+    def test_backdated_creations_detected(self, small_warehouse):
+        content = analyze_content(small_warehouse)
+        ts = content.timestamps
+        if not np.isnan(ts.backdated_creation_pct):
+            assert 0 <= ts.backdated_creation_pct <= 100
+
+    def test_set_file_times(self, machine, process, make_file_on):
+        node = make_file_on(r"\f.txt", 100)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.txt",
+                              access=FileAccess.GENERIC_WRITE,
+                              disposition=CreateDisposition.OPEN)
+        status = w.set_file_times(process, h, creation=42, last_access=43)
+        assert status == NtStatus.SUCCESS
+        assert node.creation_time == 42
+        assert node.last_access_time == 43
+        w.close_handle(process, h)
+
+    def test_write_keeps_times_consistent(self, machine, process,
+                                          make_file_on):
+        node = make_file_on(r"\f.bin", 100)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\f.bin",
+                              access=FileAccess.GENERIC_WRITE,
+                              disposition=CreateDisposition.OPEN)
+        machine.clock.advance(10_000)
+        w.write_file(process, h, 512)
+        # Writing is an access: both stamps move together.
+        assert node.last_access_time >= node.last_write_time
+        w.close_handle(process, h)
+
+
+class TestLocking:
+    def test_lock_unlock_succeed(self, machine, process, make_file_on):
+        make_file_on(r"\db.mdb", 65536)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\db.mdb",
+                              access=FileAccess.GENERIC_READ
+                              | FileAccess.GENERIC_WRITE,
+                              disposition=CreateDisposition.OPEN)
+        assert w.lock_file(process, h, 0, 4096) == NtStatus.SUCCESS
+        assert w.unlock_file(process, h, 0, 4096) == NtStatus.SUCCESS
+        w.close_handle(process, h)
+
+    def test_lock_events_traced(self, machine, process, make_file_on):
+        make_file_on(r"\db.mdb", 65536)
+        w = machine.win32
+        _s, h = w.create_file(process, r"C:\db.mdb")
+        w.lock_file(process, h, 0, 4096)
+        w.unlock_file(process, h, 0, 4096)
+        w.close_handle(process, h)
+        for filt in machine.trace_filters:
+            filt.flush()
+        kinds = {r.kind for r in machine.collector.records}
+        assert int(TraceEventKind.FASTIO_LOCK) in kinds
+        assert int(TraceEventKind.FASTIO_UNLOCK_SINGLE) in kinds
+
+    def test_lock_bad_handle(self, machine, process):
+        assert machine.win32.lock_file(process, 404, 0, 10) == \
+            NtStatus.INVALID_PARAMETER
+
+
+class TestHurst:
+    def test_hurst_reported(self, small_warehouse):
+        from repro.analysis.heavytail import analyze_heavy_tails
+        report = analyze_heavy_tails(small_warehouse)
+        if not np.isnan(report.hurst):
+            # Self-similar traffic: H above the Poisson 0.5.
+            assert report.hurst > 0.5

@@ -1,0 +1,121 @@
+"""Tests for the Empirical sampler and trace-fitted synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.opens import analyze_opens
+from repro.analysis.warehouse import TraceWarehouse
+from repro.nt.fs.volume import Volume
+from repro.nt.system import Machine, MachineConfig
+from repro.nt.tracing.collector import TraceCollector
+from repro.stats.distributions import Empirical, Pareto
+from repro.workload.content import build_system_volume
+from repro.workload.synthesis import (
+    FittedWorkloadModel,
+    fit_workload,
+    run_synthetic_benchmark,
+)
+
+
+class TestEmpirical:
+    def test_samples_within_range(self):
+        data = [1.0, 5.0, 9.0]
+        e = Empirical(data)
+        rng = np.random.default_rng(0)
+        samples = e.sample_many(rng, 500)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 9.0
+
+    def test_median_recovered(self):
+        rng = np.random.default_rng(1)
+        data = rng.lognormal(3, 1, size=20_000)
+        e = Empirical(data)
+        samples = e.sample_many(np.random.default_rng(2), 20_000)
+        assert np.median(samples) == pytest.approx(np.median(data),
+                                                   rel=0.05)
+
+    def test_heavy_tail_preserved(self):
+        # §7 point 3: the fitted distribution must carry the tail.
+        rng = np.random.default_rng(3)
+        data = Pareto(1.3, 1.0).sample_many(rng, 50_000)
+        e = Empirical(data, n_quantiles=1024)
+        samples = e.sample_many(np.random.default_rng(4), 50_000)
+        assert np.percentile(samples, 99.5) > \
+            0.3 * np.percentile(data, 99.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([np.nan])
+
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            Empirical([1.0], n_quantiles=1)
+
+    def test_single_value(self):
+        e = Empirical([7.0])
+        assert e.sample(np.random.default_rng(0)) == 7.0
+
+
+class TestFitWorkload:
+    def test_fit_from_study(self, small_warehouse):
+        model = fit_workload(small_warehouse)
+        assert model.n_source_instances > 100
+        assert 0 < model.p_control < 1
+        mix = model.p_read_only + model.p_write_only + model.p_read_write
+        assert mix == pytest.approx(1.0, abs=0.01)
+        assert "fitted from" in model.describe()
+
+    def test_fit_rejects_empty(self):
+        wh = TraceWarehouse([TraceCollector("e")])
+        with pytest.raises(ValueError):
+            fit_workload(wh)
+
+    def test_fitted_samplers_positive(self, small_warehouse):
+        model = fit_workload(small_warehouse)
+        rng = np.random.default_rng(0)
+        assert model.read_sizes.sample(rng) > 0
+        assert model.write_sizes.sample(rng) > 0
+        assert model.open_interarrival_ticks.sample(rng) >= 0
+
+
+class TestSyntheticReplay:
+    @pytest.fixture(scope="class")
+    def replayed(self, small_warehouse):
+        model = fit_workload(small_warehouse)
+        machine = Machine(MachineConfig(name="synth", seed=555,
+                                        memory_mb=96))
+        volume = Volume("C", capacity_bytes=8 << 30)
+        catalog = build_system_volume(volume, machine.rng, scale=0.06)
+        machine.mount("C", volume)
+        run_synthetic_benchmark(machine, catalog, model, n_sessions=250)
+        machine.finish_tracing(drain_ticks=2 * 10_000_000)
+        return model, TraceWarehouse([machine.collector])
+
+    def test_produces_sessions(self, replayed):
+        _model, wh = replayed
+        assert len(wh.instances) > 100
+
+    def test_control_share_preserved(self, small_warehouse, replayed):
+        model, wh = replayed
+        original = analyze_opens(small_warehouse)
+        synthetic = analyze_opens(wh)
+        assert abs(original.control_open_share_pct
+                   - synthetic.control_open_share_pct) < 20
+
+    def test_usage_mix_reproduced(self, replayed):
+        model, wh = replayed
+        data = [s for s in wh.instances
+                if not s.open_failed and s.has_data]
+        if data:
+            ro = sum(1 for s in data if s.usage == "read-only") / len(data)
+            assert abs(ro - model.p_read_only) < 0.3
+
+    def test_interarrivals_bursty(self, replayed):
+        _model, wh = replayed
+        opens = analyze_opens(wh)
+        ia = opens.interarrival_all
+        if ia.size > 100:
+            # Heavy-tailed interarrivals: the mean dwarfs the median.
+            assert ia.mean() > 2 * np.median(ia)

@@ -1,0 +1,99 @@
+"""Tests for category machine construction and study orchestration
+details (logoff upload, ON/OFF structure)."""
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, run_study
+from repro.nt.fs.disk import IDE_DISK, SCSI_ULTRA2_DISK
+from repro.nt.fs.volume import Volume
+from repro.workload.users import CATEGORY_PROFILES, build_machine
+
+
+class TestCategoryProfiles:
+    def test_all_five_categories(self):
+        assert set(CATEGORY_PROFILES) == {
+            "walkup", "pool", "personal", "administrative", "scientific"}
+
+    def test_scientific_hardware(self):
+        sci = CATEGORY_PROFILES["scientific"]
+        assert sci.disk is SCSI_ULTRA2_DISK
+        assert sci.memory_mb[0] >= 256
+        assert sci.scientific and not sci.developer
+
+    def test_pool_is_developer(self):
+        pool = CATEGORY_PROFILES["pool"]
+        assert pool.developer
+        assert pool.cpu_mhz[0] >= 300
+
+    def test_only_walkup_and_personal_run_fat(self):
+        for name, cat in CATEGORY_PROFILES.items():
+            if name in ("pool", "scientific"):
+                assert cat.fat_probability == 0.0
+
+
+class TestBuildMachine:
+    def test_builds_configured_machine(self):
+        built = build_machine("m1", "pool", seed=4, content_scale=0.05)
+        config = built.machine.config
+        assert 300 <= config.cpu_mhz <= 450
+        assert config.fs_type == Volume.NTFS
+        assert built.catalog.sources  # developer content present
+
+    def test_scientific_gets_datasets(self):
+        built = build_machine("m2", "scientific", seed=4,
+                              content_scale=0.05)
+        assert built.catalog.datasets
+        assert built.machine.config.disk is SCSI_ULTRA2_DISK
+
+    def test_deterministic_by_seed(self):
+        a = build_machine("x", "walkup", seed=9, content_scale=0.05)
+        b = build_machine("x", "walkup", seed=9, content_scale=0.05)
+        assert a.machine.config.cpu_mhz == b.machine.config.cpu_mhz
+        assert a.machine.config.fs_type == b.machine.config.fs_type
+
+    def test_walkup_sometimes_fat(self):
+        types = {build_machine("x", "walkup", seed=s,
+                               content_scale=0.03).machine.config.fs_type
+                 for s in range(25)}
+        assert types == {Volume.FAT, Volume.NTFS}
+
+    def test_cpu_scale_applied(self):
+        built = build_machine("m3", "scientific", seed=4,
+                              content_scale=0.05)
+        assert built.machine.cpu_scale == pytest.approx(
+            200.0 / built.machine.config.cpu_mhz)
+
+
+class TestLogoffUpload:
+    def test_profile_migrated_to_share(self):
+        result = run_study(StudyConfig(n_machines=1, duration_seconds=20,
+                                       seed=8, content_scale=0.06))
+        collector = result.collectors[0]
+        remote_uploads = [n for n in collector.name_records
+                          if n.volume_is_remote and "\\profile\\" in n.path]
+        assert remote_uploads, "logoff should write profile files remotely"
+
+    def test_no_share_no_upload(self):
+        result = run_study(StudyConfig(n_machines=1, duration_seconds=15,
+                                       seed=8, content_scale=0.05,
+                                       with_network_shares=False))
+        collector = result.collectors[0]
+        assert not any(n.volume_is_remote for n in collector.name_records)
+
+
+class TestOnOffStructure:
+    def test_launches_cluster_in_on_periods(self):
+        # With heavy-tailed OFF periods, the open-arrival process should
+        # be visibly burstier than a uniform spread: the busiest decile
+        # of 1-second bins should hold a disproportionate share.
+        result = run_study(StudyConfig(n_machines=1, duration_seconds=60,
+                                       seed=17, content_scale=0.06))
+        collector = result.collectors[0]
+        from repro.nt.tracing.records import TraceEventKind
+        opens = sorted(r.t_start for r in collector.records
+                       if r.kind == int(TraceEventKind.IRP_CREATE))
+        bins = np.bincount([int(t // 10_000_000) for t in opens])
+        bins.sort()
+        top_decile = bins[-max(1, len(bins) // 10):].sum()
+        assert top_decile > 0.3 * bins.sum()

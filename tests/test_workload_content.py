@@ -1,0 +1,141 @@
+"""Tests for the content generator: §5's shapes must hold."""
+
+import numpy as np
+import pytest
+
+from repro.nt.fs.nodes import FileNode
+from repro.nt.fs.volume import Volume
+from repro.workload.content import (
+    ContentCatalog,
+    FILE_TYPE_SIZES,
+    build_system_volume,
+    build_user_share,
+)
+
+
+@pytest.fixture
+def populated():
+    rng = np.random.default_rng(42)
+    vol = Volume("C", capacity_bytes=4 << 30)
+    catalog = build_system_volume(vol, rng, username="alice", scale=0.3,
+                                  developer=True, scientific=False)
+    return vol, catalog
+
+
+class TestSystemVolume:
+    def test_fullness_in_paper_band(self, populated):
+        vol, _cat = populated
+        assert 0.5 <= vol.fullness <= 0.9
+
+    def test_profile_tree_exists(self, populated):
+        vol, cat = populated
+        assert cat.profile_dir == r"\winnt\profiles\alice"
+        assert vol.resolve(cat.profile_dir) is not None
+
+    def test_web_cache_populated(self, populated):
+        vol, cat = populated
+        assert len(cat.web_cache) > 100
+        sample = vol.resolve(cat.web_cache[0])
+        assert isinstance(sample, FileNode)
+
+    def test_catalog_paths_resolve(self, populated):
+        vol, cat = populated
+        for pool in (cat.executables, cat.dlls, cat.documents,
+                     cat.sources, cat.headers, cat.objects):
+            assert pool, "catalog pool should not be empty"
+            for path in pool[:5]:
+                assert vol.resolve(path) is not None, path
+
+    def test_developer_gets_sdk(self, populated):
+        vol, _cat = populated
+        assert vol.resolve(r"\program files\platform sdk") is not None
+
+    def test_non_developer_has_no_sdk(self):
+        rng = np.random.default_rng(1)
+        vol = Volume("C", capacity_bytes=4 << 30)
+        build_system_volume(vol, rng, scale=0.1, developer=False)
+        assert vol.resolve(r"\program files\platform sdk") is None
+
+    def test_scientific_gets_datasets(self):
+        rng = np.random.default_rng(2)
+        vol = Volume("C", capacity_bytes=40 << 30)
+        cat = build_system_volume(vol, rng, scale=0.1, scientific=True)
+        assert cat.datasets
+        node = vol.resolve(cat.datasets[0])
+        assert node.size > 10 << 20  # 100-300 MB class files
+
+    def test_size_tail_dominated_by_executables(self, populated):
+        vol, _cat = populated
+        sizes = {}
+        for node in vol.walk():
+            if isinstance(node, FileNode):
+                sizes.setdefault(node.extension, []).append(node.size)
+        exe_bytes = sum(sum(sizes.get(e, [])) for e in
+                        ("exe", "dll", "ttf", "fon"))
+        web_bytes = sum(sum(sizes.get(e, [])) for e in
+                        ("htm", "gif", "jpg", "css", "js"))
+        assert exe_bytes > web_bytes
+
+    def test_scale_controls_file_count(self):
+        rng = np.random.default_rng(3)
+        small_vol = Volume("S", capacity_bytes=4 << 30)
+        build_system_volume(small_vol, rng, scale=0.05)
+        small_count = sum(1 for n in small_vol.walk()
+                          if isinstance(n, FileNode))
+        rng = np.random.default_rng(3)
+        big_vol = Volume("B", capacity_bytes=8 << 30)
+        build_system_volume(big_vol, rng, scale=0.3)
+        big_count = sum(1 for n in big_vol.walk()
+                        if isinstance(n, FileNode))
+        assert big_count > 3 * small_count
+
+    def test_bad_scale_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            build_system_volume(Volume("X"), rng, scale=0.0)
+
+
+class TestUserShare:
+    def test_share_populates(self):
+        rng = np.random.default_rng(5)
+        vol = Volume("S", capacity_bytes=1 << 30)
+        cat = build_user_share(vol, rng, username="bob", scale=0.2)
+        assert vol.resolve(r"\bob\docs") is not None
+        assert cat.documents
+
+    def test_share_sizes_vary(self):
+        counts = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            vol = Volume("S", capacity_bytes=1 << 30)
+            build_user_share(vol, rng, scale=0.2)
+            counts.append(sum(1 for n in vol.walk()
+                              if isinstance(n, FileNode)))
+        assert max(counts) > 2 * min(counts)  # "no uniformity" (§5)
+
+
+class TestCatalog:
+    def test_pick_zipf_prefers_head(self):
+        rng = np.random.default_rng(7)
+        cat = ContentCatalog()
+        paths = [f"\\f{i}" for i in range(50)]
+        picks = [cat.pick(rng, paths) for _ in range(2000)]
+        assert picks.count("\\f0") > picks.count("\\f40")
+
+    def test_pick_empty_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ContentCatalog().pick(rng, [])
+
+
+class TestTypeSizes:
+    def test_all_models_positive(self):
+        rng = np.random.default_rng(9)
+        for ext, model in FILE_TYPE_SIZES.items():
+            samples = [model.sample(rng) for _ in range(50)]
+            assert all(s > 0 for s in samples), ext
+
+    def test_tail_types_reach_megabytes(self):
+        rng = np.random.default_rng(11)
+        samples = [FILE_TYPE_SIZES["dll"].sample(rng) for _ in range(3000)]
+        assert max(samples) > 1 << 20
