@@ -23,8 +23,10 @@ Quickstart::
     print(summarize_observations(wh, result.counters).format())
 """
 
+from repro.nt.perf import PerfRegistry
 from repro.nt.system import Machine, MachineConfig
-from repro.workload.study import StudyConfig, StudyResult, run_study
+from repro.workload.study import (StudyConfig, StudyResult, StudyTelemetry,
+                                  run_study)
 from repro.analysis.warehouse import TraceWarehouse
 
 __version__ = "1.0.0"
@@ -32,8 +34,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Machine",
     "MachineConfig",
+    "PerfRegistry",
     "StudyConfig",
     "StudyResult",
+    "StudyTelemetry",
     "run_study",
     "TraceWarehouse",
     "__version__",

@@ -2,13 +2,16 @@
 
 ::
 
-    python -m repro run    --machines 6 --seconds 120 --out traces/
+    python -m repro run    --machines 6 --seconds 120 --out traces/ --perf
     python -m repro report traces/
     python -m repro figures traces/ --out figure-data/
+    python -m repro perf   --machines 2 --seconds 30
 
 ``run`` simulates a trace collection and archives it; ``report`` prints
 the paper's tables from an archive (or runs a fresh study when no archive
-is given); ``figures`` exports every figure's data series as CSV.
+is given); ``figures`` exports every figure's data series as CSV; ``perf``
+prints the performance-monitor counter table (from a dumped ``perf.json``
+or a fresh study) and can emit a wall-clock pipeline baseline for CI.
 """
 
 from __future__ import annotations
@@ -35,17 +38,42 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=0.12)
     run.add_argument("--out", type=Path, default=None,
                      help="directory for the .nttrace archive")
+    run.add_argument("--perf", action="store_true",
+                     help="print the perfmon counter table and dump"
+                          " perf.json next to the archive")
+    run.add_argument("--progress", action="store_true",
+                     help="emit per-machine telemetry lines to stderr")
 
     report = sub.add_parser("report", help="print the paper's tables")
     report.add_argument("traces", type=Path, nargs="?", default=None,
                         help=".nttrace archive directory (default: run a"
                              " fresh study)")
     report.add_argument("--seed", type=int, default=1998)
+    report.add_argument("--perf", action="store_true",
+                        help="also print the perfmon counter table (from"
+                             " the archive's perf.json, or the fresh"
+                             " study)")
 
     figures = sub.add_parser("figures", help="export figure data as CSV")
     figures.add_argument("traces", type=Path, nargs="?", default=None)
     figures.add_argument("--out", type=Path, default=Path("figure-data"))
     figures.add_argument("--seed", type=int, default=1998)
+
+    perf = sub.add_parser(
+        "perf", help="print the performance-monitor counter table")
+    perf.add_argument("traces", type=Path, nargs="?", default=None,
+                      help="archive directory holding a perf.json"
+                           " (default: run a fresh study)")
+    perf.add_argument("--machines", type=int, default=2)
+    perf.add_argument("--seconds", type=float, default=30.0)
+    perf.add_argument("--seed", type=int, default=1998)
+    perf.add_argument("--scale", type=float, default=0.12)
+    perf.add_argument("--json", type=Path, default=None,
+                      help="write the per-machine perf.json here")
+    perf.add_argument("--bench-json", type=Path, default=None,
+                      help="write wall-clock phase timings of the"
+                           " simulate/warehouse/analysis pipeline here"
+                           " (the CI BENCH_perf baseline)")
     return parser
 
 
@@ -65,13 +93,32 @@ def _load_or_run(traces: Optional[Path], seed: int):
     return TraceWarehouse.from_study(result), result
 
 
+def _write_perf_json(perf_by_machine, meta, path: Path) -> None:
+    from repro.nt.perf import perf_json_bytes
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(perf_json_bytes(perf_by_machine, meta))
+    print(f"wrote perf counters to {path}")
+
+
+def _print_perf_table(perf_by_machine, n_machines: int) -> None:
+    from repro.nt.perf import format_perf_table, merge_snapshots
+
+    aggregate = merge_snapshots(perf_by_machine.values())
+    print()
+    print(format_perf_table(
+        aggregate,
+        title=f"Performance monitor — {n_machines} machine(s), aggregated"))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro import StudyConfig, run_study
+    from repro import StudyConfig, StudyTelemetry, run_study
     from repro.nt.tracing.store import save_study
 
+    telemetry = StudyTelemetry() if args.progress else None
     result = run_study(StudyConfig(
         n_machines=args.machines, duration_seconds=args.seconds,
-        seed=args.seed, content_scale=args.scale))
+        seed=args.seed, content_scale=args.scale), telemetry=telemetry)
     print(f"collected {result.total_records} records from "
           f"{len(result.collectors)} machines")
     if args.out is not None:
@@ -79,7 +126,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         total = sum(p.stat().st_size for p in paths)
         print(f"archived {len(paths)} machines to {args.out} "
               f"({total / 1024:.0f} KB)")
+    if args.perf:
+        # Persist before the chatty table print so the archive companion
+        # survives a closed downstream pipe (`repro run --perf | head`).
+        if args.out is not None:
+            _write_perf_json(result.perf, _study_meta(args),
+                             args.out / "perf.json")
+        _print_perf_table(result.perf, len(result.collectors))
     return 0
+
+
+def _study_meta(args: argparse.Namespace) -> dict:
+    return {"machines": args.machines, "seconds": args.seconds,
+            "seed": args.seed, "scale": args.scale}
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -98,7 +157,28 @@ def cmd_report(args: argparse.Namespace) -> int:
     if warehouse.machine_categories:
         print("\nUsage categories:")
         print(format_category_table(by_category(warehouse)))
+    if args.perf:
+        if result is not None:
+            _print_perf_table(result.perf, len(result.collectors))
+        else:
+            _print_archived_perf(args.traces)
     return 0
+
+
+def _print_archived_perf(traces: Path) -> None:
+    from repro.nt.perf import load_perf_json
+
+    perf_path = traces / "perf.json"
+    if not perf_path.exists():
+        print(f"\nno perf.json in {traces} — re-run "
+              f"`repro run --perf --out {traces}` to produce one",
+              file=sys.stderr)
+        return
+    try:
+        doc = load_perf_json(perf_path)
+    except (ValueError, OSError, KeyError) as exc:
+        raise SystemExit(f"cannot read {perf_path}: {exc}") from None
+    _print_perf_table(doc["machines"], len(doc["machines"]))
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -113,10 +193,48 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import (StudyConfig, StudyTelemetry, TraceWarehouse,
+                       run_study)
+    from repro.analysis.report import summarize_observations
+
+    if args.traces is not None:
+        _print_archived_perf(args.traces)
+        return 0
+
+    telemetry = StudyTelemetry()
+    with telemetry.phase("simulate"):
+        result = run_study(StudyConfig(
+            n_machines=args.machines, duration_seconds=args.seconds,
+            seed=args.seed, content_scale=args.scale), telemetry=telemetry)
+    with telemetry.phase("warehouse"):
+        warehouse = TraceWarehouse.from_study(result)
+        _ = warehouse.instances
+    with telemetry.phase("analysis"):
+        summarize_observations(warehouse, result.counters)
+    if args.json is not None:
+        _write_perf_json(result.perf, _study_meta(args), args.json)
+    _print_perf_table(result.perf, len(result.collectors))
+    print("\nPipeline wall-clock:")
+    for name, seconds in sorted(telemetry.phase_seconds.items()):
+        print(f"  {name:<12} {seconds:8.3f} s")
+    if args.bench_json is not None:
+        payload = telemetry.bench_payload()
+        payload["records"] = result.total_records
+        payload["machines"] = len(result.collectors)
+        args.bench_json.parent.mkdir(parents=True, exist_ok=True)
+        args.bench_json.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        print(f"wrote pipeline baseline to {args.bench_json}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "report": cmd_report,
-                "figures": cmd_figures}
+                "figures": cmd_figures, "perf": cmd_perf}
     return handlers[args.command](args)
 
 

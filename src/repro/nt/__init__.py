@@ -13,12 +13,15 @@ Subpackages mirror the components the paper instruments and analyses:
 * :mod:`repro.nt.net` — a CIFS-style network redirector and file server.
 * :mod:`repro.nt.tracing` — the trace filter driver (54 event kinds, dual
   timestamps, triple buffering), collector, and snapshot walker.
+* :mod:`repro.nt.perf` — the performance-monitor subsystem: per-machine
+  counters and latency histograms fed by the components above.
 * :mod:`repro.nt.win32` — the Win32-level API processes call
   (CreateFile/ReadFile/... plus the runtime-library control-op chatter).
 * :mod:`repro.nt.system` — :class:`~repro.nt.system.Machine`, which wires it
   all together.
 """
 
+from repro.nt.perf import PerfRegistry
 from repro.nt.system import Machine, MachineConfig
 
-__all__ = ["Machine", "MachineConfig"]
+__all__ = ["Machine", "MachineConfig", "PerfRegistry"]

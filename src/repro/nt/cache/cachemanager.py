@@ -68,7 +68,7 @@ class SharedCacheMap:
     purge — so re-opens hit the cache.
     """
 
-    __slots__ = ("node", "owners", "paging_fo", "pages", "dirty",
+    __slots__ = ("node", "owners", "paging_fo", "pages", "dirty", "ra_pages",
                  "read_ahead_granularity", "written_pending_eof",
                  "pending_close")
 
@@ -80,6 +80,9 @@ class SharedCacheMap:
         self.paging_fo: Optional[FileObject] = None
         self.pages: set[int] = set()
         self.dirty: set[int] = set()
+        # Pages brought in by asynchronous read-ahead that no copy read has
+        # touched yet (perf instrumentation: issued-vs-consumed tracking).
+        self.ra_pages: set[int] = set()
         self.read_ahead_granularity = granularity
         # True after a cached write until the cache manager has issued the
         # SetEndOfFile that §8.3 says always precedes the close.
@@ -115,6 +118,17 @@ class CacheManager:
             raise ValueError("cache capacity must hold at least one page")
         self.machine = machine
         self.capacity_pages = capacity_bytes // PAGE_SIZE
+        perf = machine.perf
+        self._perf = perf
+        self._perf_hits = perf.counter("cc.copy_read.hits")
+        self._perf_misses = perf.counter("cc.copy_read.misses")
+        self._perf_writes = perf.counter("cc.copy_write.calls")
+        self._perf_write_bytes = perf.counter("cc.copy_write.bytes")
+        self._perf_ra_issued = perf.counter("cc.readahead.issued")
+        self._perf_ra_pages = perf.counter("cc.readahead.pages")
+        self._perf_ra_consumed = perf.counter("cc.readahead.pages_consumed")
+        self._perf_flush_pages = perf.counter("cc.flush.pages")
+        self._perf_evicted = perf.counter("cc.pages_evicted")
         # LRU over resident pages: (id(map), page) -> map.
         self._lru: "OrderedDict[tuple[int, int], SharedCacheMap]" = OrderedDict()
         # Maps with dirty pages, for the lazy writer's scans.
@@ -141,6 +155,7 @@ class CacheManager:
         fo.private_cache_map = PrivateCacheMap()
         fo.set_flag(FileObjectFlags.CACHE_SUPPORTED)
         self.machine.counters["cc.cache_maps_initialized"] += 1
+        self._perf.count("cc.cache_maps_initialized")
         return cmap
 
     def cleanup_file_object(self, fo: FileObject, process_id: int) -> None:
@@ -211,6 +226,13 @@ class CacheManager:
             _COPY_BASE_MICROS + _COPY_PER_PAGE_MICROS * len(pages))
         missing = [p for p in pages if p not in cmap.pages]
         hit = not missing
+        if self._perf.enabled:
+            (self._perf_hits if hit else self._perf_misses).add(1)
+            if cmap.ra_pages:
+                consumed = cmap.ra_pages.intersection(pages)
+                if consumed:
+                    cmap.ra_pages.difference_update(consumed)
+                    self._perf_ra_consumed.add(len(consumed))
         granularity = cmap.read_ahead_granularity
         if fo.has_flag(FileObjectFlags.SEQUENTIAL_ONLY):
             granularity *= 2  # §9.1: sequential-only doubles read-ahead.
@@ -273,6 +295,9 @@ class CacheManager:
         cmap.written_pending_eof = True
         self.dirty_maps.add(cmap)
         machine.counters["cc.cached_writes"] += 1
+        if self._perf.enabled:
+            self._perf_writes.add(1)
+            self._perf_write_bytes.add(length)
         return NtStatus.SUCCESS, length
 
     # ------------------------------------------------------------------ #
@@ -291,6 +316,8 @@ class CacheManager:
         cmap.dirty.clear()
         self.dirty_maps.discard(cmap)
         self.machine.counters["cc.pages_flushed"] += flushed
+        if self._perf.enabled:
+            self._perf_flush_pages.add(flushed)
         # Dirty pages pinned the cache above budget; now they are clean
         # the LRU can shed them.
         self._evict_if_needed()
@@ -312,6 +339,8 @@ class CacheManager:
         if not cmap.dirty:
             self.dirty_maps.discard(cmap)
         self.machine.counters["cc.pages_flushed"] += len(target)
+        if self._perf.enabled:
+            self._perf_flush_pages.add(len(target))
         self._evict_if_needed()
         return len(target)
 
@@ -329,6 +358,7 @@ class CacheManager:
         dirty_dropped = 0
         for page in doomed:
             cmap.pages.discard(page)
+            cmap.ra_pages.discard(page)
             if page in cmap.dirty:
                 cmap.dirty.discard(page)
                 dirty_dropped += 1
@@ -349,6 +379,7 @@ class CacheManager:
             self._lru.pop((id(cmap), page), None)
         cmap.pages.clear()
         cmap.dirty.clear()
+        cmap.ra_pages.clear()
         self.dirty_maps.discard(cmap)
         if dirty_dropped:
             self.machine.counters["cc.dirty_discarded_on_delete"] += dirty_dropped
@@ -388,6 +419,10 @@ class CacheManager:
         self._mark_resident(cmap, wanted[0] * PAGE_SIZE,
                             (wanted[-1] - wanted[0] + 1) * PAGE_SIZE)
         self.machine.counters["cc.read_aheads"] += 1
+        if self._perf.enabled:
+            self._perf_ra_issued.add(1)
+            self._perf_ra_pages.add(len(wanted))
+            cmap.ra_pages.update(wanted)
 
     def _evict_if_needed(self) -> None:
         attempts = 0
@@ -401,7 +436,10 @@ class CacheManager:
                 self._lru[key] = cmap
                 continue
             cmap.pages.discard(page)
+            cmap.ra_pages.discard(page)
             self.machine.counters["cc.pages_evicted"] += 1
+            if self._perf.enabled:
+                self._perf_evicted.add(1)
 
     def shed_excess(self) -> None:
         """Evict down to budget (for callers that just cleaned pages)."""

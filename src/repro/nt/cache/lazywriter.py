@@ -32,6 +32,13 @@ class LazyWriter:
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
+        perf = machine.perf
+        self._perf = perf
+        self._perf_scans = perf.counter("lw.scans")
+        self._perf_flush_runs = perf.counter("lw.flush_runs")
+        self._perf_pages = perf.counter("lw.pages_written")
+        self._perf_bytes = perf.counter("lw.bytes_written")
+        self._perf_deferred = perf.counter("lw.deferred_closes")
         # (cache map, file object to release, process id, enqueued time)
         # awaiting flush-then-close.  Entries age before they are flushed,
         # modelling NT's write-behind delay: the close follows the cleanup
@@ -60,6 +67,8 @@ class LazyWriter:
         """One lazy-writer pass; reschedules itself."""
         machine = self.machine
         machine.counters["lw.scans"] += 1
+        if self._perf.enabled:
+            self._perf_scans.add(1)
         self._complete_pending_closes()
         for cmap in list(machine.cc.dirty_maps):
             if cmap.pending_close or not cmap.dirty:
@@ -98,6 +107,8 @@ class LazyWriter:
             cmap.pending_close = False
             machine.io.dereference_and_maybe_close(fo, process_id)
             machine.counters["lw.deferred_closes"] += 1
+            if self._perf.enabled:
+                self._perf_deferred.add(1)
         self._pending_close.extend(still_waiting)
 
     def _write_portion(self, cmap: SharedCacheMap) -> None:
@@ -115,7 +126,12 @@ class LazyWriter:
             for page in pages:
                 cmap.dirty.discard(page)
             written += len(pages)
+            if self._perf.enabled:
+                self._perf_flush_runs.add(1)
+                self._perf_bytes.add(run_length)
         if not cmap.dirty:
             machine.cc.dirty_maps.discard(cmap)
         machine.cc.shed_excess()
         machine.counters["lw.pages_written"] += written
+        if self._perf.enabled:
+            self._perf_pages.add(written)

@@ -43,6 +43,37 @@ class IoManager:
         self._next_fo_id = 1
         # Volume label -> top of its device stack (the trace filter).
         self._stacks: dict[str, DeviceObject] = {}
+        # Perf instrumentation: per-major dispatch counters and latency
+        # histograms, created lazily so only exercised majors appear.
+        self._perf = machine.perf
+        self._irp_counters: dict[IrpMajor, object] = {}
+        self._irp_latency: dict[IrpMajor, object] = {}
+        self._fastio_counters: dict[FastIoOp, object] = {}
+        self._fastio_latency: dict[FastIoOp, object] = {}
+        self._fastio_declined = self._perf.counter("io.fastio.declined")
+
+    def _count_irp(self, irp: Irp) -> None:
+        major = irp.major
+        counter = self._irp_counters.get(major)
+        if counter is None:
+            name = major.name.lower()
+            counter = self._irp_counters[major] = \
+                self._perf.counter(f"io.irp.dispatched.{name}")
+            self._irp_latency[major] = \
+                self._perf.histogram(f"io.irp.latency.{name}")
+        counter.add(1)
+        self._irp_latency[major].observe(irp.t_complete - irp.t_start)
+
+    def _count_fastio(self, op: FastIoOp, irp_like: Irp) -> None:
+        counter = self._fastio_counters.get(op)
+        if counter is None:
+            name = op.name.lower()
+            counter = self._fastio_counters[op] = \
+                self._perf.counter(f"io.fastio.handled.{name}")
+            self._fastio_latency[op] = \
+                self._perf.histogram(f"io.fastio.latency.{name}")
+        counter.add(1)
+        self._fastio_latency[op].observe(irp_like.t_complete - irp_like.t_start)
 
     # ------------------------------------------------------------------ #
     # Stack registry.
@@ -56,7 +87,8 @@ class IoManager:
         try:
             return self._stacks[volume.label]
         except KeyError:
-            raise KeyError(f"no device stack registered for volume {volume.label!r}")
+            raise KeyError(f"no device stack registered for volume "
+                           f"{volume.label!r}") from None
 
     @property
     def volumes(self) -> list[Volume]:
@@ -99,6 +131,8 @@ class IoManager:
         self.machine.charge_cpu(_IRP_DISPATCH_MICROS)
         status = top.driver.dispatch(irp, top)
         irp.t_complete = clock.now
+        if self._perf.enabled:
+            self._count_irp(irp)
         return status
 
     # ------------------------------------------------------------------ #
@@ -117,6 +151,10 @@ class IoManager:
         if result.handled:
             irp_like.status = result.status
             irp_like.returned = result.returned
+            if self._perf.enabled:
+                self._count_fastio(op, irp_like)
+        elif self._perf.enabled:
+            self._fastio_declined.add(1)
         return result
 
     # ------------------------------------------------------------------ #

@@ -40,6 +40,15 @@ class VmManager:
 
     def __init__(self, machine: "Machine", image_budget_bytes: int) -> None:
         self.machine = machine
+        perf = machine.perf
+        self._perf = perf
+        self._perf_page_ins = perf.counter("mm.page_ins")
+        self._perf_page_outs = perf.counter("mm.page_outs")
+        # Paging IRPs: the §3.3 duplicate requests the trace later filters.
+        self._perf_paging_irps = perf.counter("mm.paging_irps")
+        self._perf_paging_bytes = perf.counter("mm.paging_bytes")
+        self._perf_image_cold = perf.counter("mm.image_cold_loads")
+        self._perf_image_warm = perf.counter("mm.image_warm_loads")
         # Resident image sections: (volume label, lower path) -> size bytes.
         self._resident_images: "OrderedDict[tuple[str, str], int]" = OrderedDict()
         self._image_budget = image_budget_bytes
@@ -100,6 +109,8 @@ class VmManager:
         if key in self._resident_images:
             self._resident_images.move_to_end(key)
             machine.counters["mm.image_warm_loads"] += 1
+            if self._perf.enabled:
+                self._perf_image_warm.add(1)
         else:
             size = max(PAGE_SIZE, node.size)
             status = self._paging_transfer(
@@ -112,6 +123,8 @@ class VmManager:
             self._image_bytes += size
             self._evict_images_if_needed()
             machine.counters["mm.image_cold_loads"] += 1
+            if self._perf.enabled:
+                self._perf_image_cold.add(1)
         self._fastio_notify(fo, FastIoOp.RELEASE_FILE_FOR_NT_CREATE_SECTION,
                             process_id)
         return NtStatus.SUCCESS
@@ -145,16 +158,23 @@ class VmManager:
         status = NtStatus.SUCCESS
         chunk_offset = offset
         end = offset + length
+        perf_on = self._perf.enabled
         while chunk_offset < end:
             chunk = min(MAX_PAGING_TRANSFER, end - chunk_offset)
             irp = Irp(major, fo, process_id=0, flags=flags,
                       offset=chunk_offset, length=chunk)
             status = machine.io.send_irp(irp, background=background)
+            if perf_on:
+                self._perf_paging_irps.add(1)
+                self._perf_paging_bytes.add(chunk)
             if status.is_error:
                 break
             chunk_offset += chunk
         key = "mm.paging_reads" if major == IrpMajor.READ else "mm.paging_writes"
         machine.counters[key] += 1
+        if perf_on:
+            (self._perf_page_ins if major == IrpMajor.READ
+             else self._perf_page_outs).add(1)
         if image:
             machine.counters["mm.image_page_ins"] += 1
         return status

@@ -19,6 +19,7 @@ from repro.common.flags import FileObjectFlags
 from repro.common.status import NtStatus
 from repro.nt.fs.driver import FileSystemDriver
 from repro.nt.io.driver import DeviceObject
+from repro.nt.io.fastio import FastIoOp, FastIoResult
 from repro.nt.io.irp import Irp, IrpMajor
 
 
@@ -71,12 +72,23 @@ class RedirectorDriver(FileSystemDriver):
     def __init__(self, io, network: NetworkModel = SWITCHED_100MBIT) -> None:
         super().__init__(io)
         self.network = network
+        perf = io.machine.perf
+        self._perf = perf
+        self._perf_wire_requests = perf.counter("rdr.wire.requests")
+        self._perf_wire_transfers = perf.counter("rdr.wire.transfers")
+        self._perf_wire_bytes = perf.counter("rdr.wire.bytes")
+        # Remote reads/writes the client cache absorbed without a round
+        # trip — the §6.2 reason remote opens cost no more than local ones.
+        self._perf_cache_absorbed = perf.counter("rdr.cache_absorbed")
 
     def dispatch(self, irp: Irp, device: DeviceObject) -> NtStatus:
         machine = self.io.machine
+        perf_on = self._perf.enabled
         if irp.major in _WIRE_MAJORS:
             machine.clock.advance(self.network.wire_ticks(0))
             machine.counters["rdr.wire_requests"] += 1
+            if perf_on:
+                self._perf_wire_requests.add(1)
         elif irp.major in (IrpMajor.READ, IrpMajor.WRITE):
             fo = irp.file_object
             moves_data = irp.is_paging_io or (
@@ -85,4 +97,17 @@ class RedirectorDriver(FileSystemDriver):
             if moves_data:
                 machine.clock.advance(self.network.wire_ticks(irp.length))
                 machine.counters["rdr.wire_transfers"] += 1
+                if perf_on:
+                    self._perf_wire_transfers.add(1)
+                    self._perf_wire_bytes.add(irp.length)
+            elif perf_on:
+                self._perf_cache_absorbed.add(1)
         return super().dispatch(irp, device)
+
+    def fastio(self, op: FastIoOp, irp_like: Irp,
+               device: DeviceObject) -> FastIoResult:
+        result = super().fastio(op, irp_like, device)
+        if self._perf.enabled and result.handled \
+                and op in (FastIoOp.READ, FastIoOp.WRITE):
+            self._perf_cache_absorbed.add(1)
+        return result

@@ -1,0 +1,259 @@
+"""The performance monitor (perfmon) subsystem.
+
+The paper is a measurement study: Vogels instrumented the NT I/O stack and
+reported per-path operation counts (the FastIO/IRP split of figures 13/14)
+and cache effectiveness (§9) from online counters next to the trace
+records.  This module gives the simulator the same property — a
+:class:`PerfRegistry` per :class:`~repro.nt.system.Machine` holding cheap
+monotonic :class:`Counter`\\ s and fixed-bucket log-scale
+:class:`LatencyHistogram`\\ s, fed by instrumentation points in the I/O
+manager, cache manager, lazy writer, VM manager, redirector and trace
+filter.
+
+Everything is pure python with no dependencies, deterministic (counter
+values derive only from simulated events, never wall-clock time), and
+near-free when disabled: each instrumentation site is gated on a single
+``enabled`` attribute check.
+
+The counters double as a correctness cross-check: the registry's
+FastIO/IRP dispatch counts must agree with what the trace warehouse later
+reconstructs from the records, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Iterable, Mapping, Optional
+
+from repro.common.clock import TICKS_PER_MICROSECOND
+
+# Histogram buckets are powers of two in microseconds: 1 us, 2 us, 4 us, …
+# up to ~8.4 s, plus one overflow bucket.  The range brackets figure 13's
+# latency bands (FastIO completions around 1–100 us, IRP completions from
+# 100 us into disk-seek territory).
+N_BUCKETS = 24
+BUCKET_EDGES_TICKS: tuple[int, ...] = tuple(
+    TICKS_PER_MICROSECOND * (1 << i) for i in range(N_BUCKETS))
+BUCKET_EDGES_MICROS: tuple[int, ...] = tuple(1 << i for i in range(N_BUCKETS))
+
+
+class Counter:
+    """A cheap monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyHistogram:
+    """Fixed-bucket log₂-scale latency histogram over 100 ns ticks.
+
+    ``observe`` costs one bisect over a 24-entry tuple; there is no
+    per-sample allocation, so millions of completions stay cheap.
+    """
+
+    __slots__ = ("name", "bucket_counts", "count", "sum_ticks", "max_ticks")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bucket_counts = [0] * (N_BUCKETS + 1)
+        self.count = 0
+        self.sum_ticks = 0
+        self.max_ticks = 0
+
+    def observe(self, ticks: int) -> None:
+        self.bucket_counts[bisect_left(BUCKET_EDGES_TICKS, ticks)] += 1
+        self.count += 1
+        self.sum_ticks += ticks
+        if ticks > self.max_ticks:
+            self.max_ticks = ticks
+
+    def quantile_micros(self, q: float) -> float:
+        """Upper bucket edge (µs) below which a fraction ``q`` of samples
+        fall; the overflow bucket reports the true maximum."""
+        if not self.count:
+            return float("nan")
+        need = q * self.count
+        max_micros = self.max_ticks / TICKS_PER_MICROSECOND
+        seen = 0
+        for idx, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= need:
+                if idx >= N_BUCKETS:
+                    break
+                return min(float(BUCKET_EDGES_MICROS[idx]), max_micros)
+        return max_micros
+
+    @property
+    def mean_micros(self) -> float:
+        if not self.count:
+            return float("nan")
+        return self.sum_ticks / self.count / TICKS_PER_MICROSECOND
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum_ticks": self.sum_ticks,
+            "max_ticks": self.max_ticks,
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class PerfRegistry:
+    """Per-machine counter and histogram registry.
+
+    Instrumentation sites hold direct references to their counters and
+    histograms (obtained once via :meth:`counter` / :meth:`histogram`) and
+    gate each update on :attr:`enabled` — a disabled registry costs one
+    attribute check per instrumented event.
+    """
+
+    def __init__(self, machine_name: str = "", enabled: bool = True) -> None:
+        self.machine_name = machine_name
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration and update.
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Get or create the latency histogram called ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = LatencyHistogram(name)
+        return hist
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Convenience increment for cold instrumentation sites."""
+        if self.enabled:
+            self.counter(name).add(n)
+
+    def observe(self, name: str, ticks: int) -> None:
+        """Convenience observation for cold instrumentation sites."""
+        if self.enabled:
+            self.histogram(name).observe(ticks)
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Snapshots.
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot of all non-zero counters and histograms.
+
+        Deterministic: keys are sorted and values derive only from
+        simulated events, so equal seeds produce equal snapshots.
+        """
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())
+                         if c.value},
+            "histograms": {name: h.to_dict()
+                           for name, h in sorted(self._histograms.items())
+                           if h.count},
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Aggregate per-machine snapshots into one fleet-wide snapshot."""
+    counters: dict[str, int] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, h in snap.get("histograms", {}).items():
+            agg = histograms.get(name)
+            if agg is None:
+                agg = histograms[name] = {
+                    "count": 0, "sum_ticks": 0, "max_ticks": 0,
+                    "bucket_counts": [0] * (N_BUCKETS + 1)}
+            agg["count"] += h["count"]
+            agg["sum_ticks"] += h["sum_ticks"]
+            agg["max_ticks"] = max(agg["max_ticks"], h["max_ticks"])
+            for i, n in enumerate(h["bucket_counts"]):
+                agg["bucket_counts"][i] += n
+    return {"counters": dict(sorted(counters.items())),
+            "histograms": dict(sorted(histograms.items()))}
+
+
+def _hist_from_dict(name: str, d: Mapping) -> LatencyHistogram:
+    hist = LatencyHistogram(name)
+    hist.count = d["count"]
+    hist.sum_ticks = d["sum_ticks"]
+    hist.max_ticks = d["max_ticks"]
+    hist.bucket_counts = list(d["bucket_counts"])
+    return hist
+
+
+def format_perf_table(snapshot: Mapping, title: str = "Performance monitor"
+                      ) -> str:
+    """Render a snapshot as a perfmon-style text table."""
+    lines = [title, "=" * len(title)]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append(f"  {'Counter':<52} {'Value':>12}")
+        for name in sorted(counters):
+            lines.append(f"  {name:<52} {counters[name]:>12,}")
+    else:
+        lines.append("  (no counters recorded)")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(f"  {'Latency histogram (us)':<40} {'Count':>10} "
+                     f"{'Mean':>9} {'p50':>9} {'p90':>9} {'p99':>9} "
+                     f"{'Max':>10}")
+        for name in sorted(histograms):
+            hist = _hist_from_dict(name, histograms[name])
+            lines.append(
+                f"  {name:<40} {hist.count:>10,} "
+                f"{hist.mean_micros:>9.1f} "
+                f"{hist.quantile_micros(0.50):>9.0f} "
+                f"{hist.quantile_micros(0.90):>9.0f} "
+                f"{hist.quantile_micros(0.99):>9.0f} "
+                f"{hist.max_ticks / TICKS_PER_MICROSECOND:>10.0f}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# perf.json — the on-disk companion of a .nttrace archive.
+
+def perf_json_bytes(perf_by_machine: Mapping[str, Mapping],
+                    meta: Optional[Mapping] = None) -> bytes:
+    """Serialise per-machine snapshots to canonical (byte-stable) JSON."""
+    doc = {
+        "format": "nt-perf-1",
+        "meta": dict(meta or {}),
+        "machines": {name: dict(snap)
+                     for name, snap in perf_by_machine.items()},
+        "aggregate": merge_snapshots(perf_by_machine.values()),
+    }
+    return (json.dumps(doc, sort_keys=True, indent=1) + "\n").encode("utf-8")
+
+
+def load_perf_json(path) -> dict:
+    """Read a perf.json written by :func:`perf_json_bytes`."""
+    with open(path, "rb") as fh:
+        doc = json.loads(fh.read().decode("utf-8"))
+    if doc.get("format") != "nt-perf-1":
+        raise ValueError(f"{path}: not a perf.json file")
+    return doc

@@ -28,6 +28,7 @@ from repro.nt.io.iomanager import IoManager
 from repro.nt.io.irp import Irp, IrpMajor, IrpMinor
 from repro.nt.mm.vmmanager import VmManager
 from repro.nt.net.redirector import NetworkModel, RedirectorDriver, SWITCHED_100MBIT
+from repro.nt.perf import PerfRegistry
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.driver import TraceFilterDriver
 from repro.nt.tracing.snapshot import take_snapshot
@@ -55,6 +56,9 @@ class MachineConfig:
     # fraction is modest.
     cache_memory_fraction: float = 0.10
     image_memory_fraction: float = 0.30
+    # Performance-monitor instrumentation (repro.nt.perf).  Disabling it
+    # reduces every instrumentation site to one attribute check.
+    perf_enabled: bool = True
 
 
 class Process:
@@ -95,6 +99,7 @@ class Machine:
         self.cpu_scale = 200.0 / max(1, config.cpu_mhz)
         self.rng = np.random.default_rng(config.seed)
         self.counters: Counter = Counter()
+        self.perf = PerfRegistry(config.name, enabled=config.perf_enabled)
         self.collector = TraceCollector(config.name)
         self.io = IoManager(self)
         self.cc = CacheManager(

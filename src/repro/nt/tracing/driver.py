@@ -37,19 +37,34 @@ class TraceFilterDriver(Driver):
     def __init__(self, io: "IoManager", collector: TraceCollector) -> None:
         super().__init__(io)
         self.collector = collector
-        self.buffer = TripleBuffer(collector.receive)
+        self.buffer = TripleBuffer(self._flush_to_collector)
         self._named_fo_ids: set[int] = set()
         self.enabled = True
+        perf = io.machine.perf
+        self._perf = perf
+        self._perf_records = perf.counter("trace.records")
+        self._perf_flushes = perf.counter("trace.buffer_flushes")
+        # Requests that passed through while tracing was disabled.
+        self._perf_dropped = perf.counter("trace.dropped")
+
+    def _flush_to_collector(self, records) -> None:
+        if self._perf.enabled:
+            self._perf_flushes.add(1)
+        self.collector.receive(records)
 
     # ------------------------------------------------------------------ #
 
     def dispatch(self, irp: Irp, device: DeviceObject) -> NtStatus:
         if not self.enabled:
+            if self._perf.enabled:
+                self._perf_dropped.add(1)
             return self.forward_irp(irp, device)
         if irp.major == IrpMajor.CREATE or irp.minor == IrpMinor.MOUNT_VOLUME:
             self._ensure_name_record(irp)
         status = self.forward_irp(irp, device)
         self.buffer.append(self._record_for(kind_for_irp(irp), irp))
+        if self._perf.enabled:
+            self._perf_records.add(1)
         return status
 
     def fastio(self, op: FastIoOp, irp_like: Irp,
@@ -62,6 +77,10 @@ class TraceFilterDriver(Driver):
             irp_like.status = result.status
             irp_like.returned = result.returned
             self.buffer.append(self._record_for(kind_for_fastio(op), irp_like))
+            if self._perf.enabled:
+                self._perf_records.add(1)
+        elif not self.enabled and result.handled and self._perf.enabled:
+            self._perf_dropped.add(1)
         return result
 
     # ------------------------------------------------------------------ #

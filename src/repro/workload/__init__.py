@@ -33,7 +33,8 @@ from repro.workload.apps import (
     APP_REGISTRY,
 )
 from repro.workload.users import UsageCategory, CATEGORY_PROFILES, build_machine
-from repro.workload.study import StudyConfig, StudyResult, run_study
+from repro.workload.study import (StudyConfig, StudyResult, StudyTelemetry,
+                                  run_study)
 
 __all__ = [
     "ContentCatalog",
@@ -61,5 +62,6 @@ __all__ = [
     "build_machine",
     "StudyConfig",
     "StudyResult",
+    "StudyTelemetry",
     "run_study",
 ]

@@ -5,12 +5,22 @@ categories (plus a network file server holding each user's home share),
 drives heavy-tailed application sessions on every machine, takes start and
 end snapshots, and returns the collectors — the equivalent of the paper's
 4-week, 45-machine data collection, scaled down in duration.
+
+:class:`StudyTelemetry` is the run's progress layer: structured
+per-machine (and, for day-scale runs, per-simulated-day) progress lines,
+plus wall-clock self-profiling of the simulate → warehouse-build →
+analysis pipeline.  Wall-clock figures never enter the study's results or
+``perf.json`` — those stay fully deterministic — they only feed the
+progress stream and the CI ``BENCH_perf.json`` baseline.
 """
 
 from __future__ import annotations
 
+import sys
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional, TextIO
 
 import numpy as np
 
@@ -58,10 +68,70 @@ class StudyResult:
     machine_categories: dict[str, str]
     duration_ticks: int
     counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    # Per-machine PerfRegistry snapshots (see repro.nt.perf).
+    perf: dict[str, dict] = field(default_factory=dict)
 
     @property
     def total_records(self) -> int:
         return sum(len(c.records) for c in self.collectors)
+
+    def perf_aggregate(self) -> dict:
+        """Fleet-wide perf snapshot (all machines merged)."""
+        from repro.nt.perf import merge_snapshots
+        return merge_snapshots(self.perf.values())
+
+
+class StudyTelemetry:
+    """Progress lines and wall-clock phase profiling for a study run.
+
+    ``emit`` prints one structured ``key=value`` line per event to
+    ``stream`` (stderr by default) when ``verbose`` — the operational view
+    the paper's collection servers gave their operators.  ``phase`` times
+    a pipeline stage (simulate, warehouse, analysis) in wall-clock
+    seconds; phases are always recorded even when line printing is off,
+    so benchmarks can self-profile silently.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 verbose: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+        self.phase_seconds: dict[str, float] = {}
+        self.events: list[dict] = []
+
+    def emit(self, event: str, **fields) -> None:
+        """Record (and optionally print) one structured progress event."""
+        record = {"event": event, **fields}
+        self.events.append(record)
+        if self.verbose:
+            rendered = " ".join(
+                f"{key}={self._render(value)}"
+                for key, value in record.items())
+            print(f"[telemetry] {rendered}", file=self.stream)
+
+    @staticmethod
+    def _render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage; cumulative across repeated entries."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phase_seconds[name] = \
+                self.phase_seconds.get(name, 0.0) + elapsed
+            self.emit("phase-done", phase=name, wall_seconds=elapsed)
+
+    def bench_payload(self) -> dict:
+        """Wall-clock phase timings, for the CI ``BENCH_perf.json``."""
+        return {"phases": {name: round(seconds, 6)
+                           for name, seconds in
+                           sorted(self.phase_seconds.items())}}
 
 
 def _assign_categories(config: StudyConfig,
@@ -202,7 +272,26 @@ class _MachineWorkload:
         process.alive = False
 
 
-def run_study(config: StudyConfig) -> StudyResult:
+_SIM_DAY_TICKS = 86_400 * TICKS_PER_SECOND
+
+
+def _install_day_marks(machine, horizon: int,
+                       telemetry: StudyTelemetry) -> None:
+    """Emit a per-simulated-day progress line for day-scale machines."""
+    when, day = _SIM_DAY_TICKS, 1
+    while when < horizon:
+        def mark(day=day, machine=machine):
+            telemetry.emit(
+                "sim-day", machine=machine.name, day=day,
+                records=sum(f.buffer.records_seen
+                            for f in machine.trace_filters))
+        machine.schedule(when, mark)
+        when += _SIM_DAY_TICKS
+        day += 1
+
+
+def run_study(config: StudyConfig,
+              telemetry: Optional[StudyTelemetry] = None) -> StudyResult:
     """Run a full trace collection study and return its results."""
     rng = np.random.default_rng(config.seed)
     horizon = ticks_from_seconds(config.duration_seconds)
@@ -210,6 +299,7 @@ def run_study(config: StudyConfig) -> StudyResult:
     collectors: list[TraceCollector] = []
     machine_categories: dict[str, str] = {}
     counters: dict[str, dict[str, int]] = {}
+    perf: dict[str, dict] = {}
 
     for index, category_name in enumerate(categories):
         name = f"m{index:02d}-{category_name}"
@@ -236,6 +326,9 @@ def run_study(config: StudyConfig) -> StudyResult:
                 when += interval
         workload = _MachineWorkload(built, horizon, machine.rng)
         workload.install()
+        if telemetry is not None:
+            _install_day_marks(machine, horizon, telemetry)
+        wall_started = time.perf_counter()
         machine.run_until(horizon)
         workload.shutdown()
         machine.finish_tracing(
@@ -244,8 +337,20 @@ def run_study(config: StudyConfig) -> StudyResult:
         collectors.append(machine.collector)
         machine_categories[name] = category_name
         counters[name] = dict(machine.counters)
+        perf[name] = machine.perf.snapshot()
+        if telemetry is not None:
+            telemetry.emit(
+                "machine-done", machine=name, category=category_name,
+                index=index, of=len(categories),
+                records=len(machine.collector.records),
+                sim_seconds=config.duration_seconds,
+                wall_seconds=time.perf_counter() - wall_started)
 
+    if telemetry is not None:
+        telemetry.emit("study-done", machines=len(collectors),
+                       records=sum(len(c.records) for c in collectors))
     return StudyResult(collectors=collectors,
                        machine_categories=machine_categories,
                        duration_ticks=horizon,
-                       counters=counters)
+                       counters=counters,
+                       perf=perf)

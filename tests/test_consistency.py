@@ -38,6 +38,25 @@ class TestFigureConsistency:
             assert np.all(trace_iod > 0)
 
 
+class TestPerfDeterminism:
+    """Same study seed => byte-identical perf.json (satellite of the
+    performance-monitor PR): counters derive only from simulated events,
+    never wall clock, so the serialised snapshot is reproducible."""
+
+    def test_perf_json_byte_identical_across_runs(self):
+        from repro import StudyConfig, run_study
+        from repro.nt.perf import perf_json_bytes
+
+        config = dict(n_machines=2, duration_seconds=20, seed=42,
+                      content_scale=0.08)
+        meta = {"seed": 42}
+        payloads = [
+            perf_json_bytes(run_study(StudyConfig(**config)).perf, meta)
+            for _ in range(2)]
+        assert payloads[0] == payloads[1]
+        assert b'"format": "nt-perf-1"' in payloads[0]
+
+
 class TestStoreRobustness:
     def test_unicode_paths_roundtrip(self, tmp_path):
         collector = TraceCollector("ünïcode-mächine")
