@@ -25,8 +25,8 @@ Quickstart::
 
 from repro.nt.perf import PerfRegistry
 from repro.nt.system import Machine, MachineConfig
-from repro.workload.study import (StudyConfig, StudyResult, StudyTelemetry,
-                                  run_study)
+from repro.workload.study import (StudyConfig, StudyError, StudyResult,
+                                  StudyTelemetry, run_study)
 from repro.analysis.warehouse import TraceWarehouse
 
 __version__ = "1.0.0"
@@ -36,6 +36,7 @@ __all__ = [
     "MachineConfig",
     "PerfRegistry",
     "StudyConfig",
+    "StudyError",
     "StudyResult",
     "StudyTelemetry",
     "run_study",

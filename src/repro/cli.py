@@ -24,6 +24,28 @@ from typing import Optional, Sequence
 import numpy as np
 
 
+def _workers_argument(value: str) -> int:
+    """Parse ``--workers N|auto`` (auto = 0, resolved to one per core)."""
+    if value.lower() == "auto":
+        return 0
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}") from None
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1 (or 'auto')")
+    return n
+
+
+def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_workers_argument, default=None,
+        metavar="N|auto",
+        help="simulate machines in N parallel worker processes ('auto' ="
+             " one per CPU core); results are byte-identical to serial")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -43,6 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           " perf.json next to the archive")
     run.add_argument("--progress", action="store_true",
                      help="emit per-machine telemetry lines to stderr")
+    _add_workers_option(run)
 
     report = sub.add_parser("report", help="print the paper's tables")
     report.add_argument("traces", type=Path, nargs="?", default=None,
@@ -53,11 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also print the perfmon counter table (from"
                              " the archive's perf.json, or the fresh"
                              " study)")
+    _add_workers_option(report)
 
     figures = sub.add_parser("figures", help="export figure data as CSV")
     figures.add_argument("traces", type=Path, nargs="?", default=None)
     figures.add_argument("--out", type=Path, default=Path("figure-data"))
     figures.add_argument("--seed", type=int, default=1998)
+    _add_workers_option(figures)
 
     perf = sub.add_parser(
         "perf", help="print the performance-monitor counter table")
@@ -74,10 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write wall-clock phase timings of the"
                            " simulate/warehouse/analysis pipeline here"
                            " (the CI BENCH_perf baseline)")
+    _add_workers_option(perf)
     return parser
 
 
-def _load_or_run(traces: Optional[Path], seed: int):
+def _load_or_run(traces: Optional[Path], seed: int,
+                 workers: Optional[int] = None):
     from repro import StudyConfig, TraceWarehouse, run_study
     from repro.nt.tracing.store import load_study
 
@@ -89,7 +116,7 @@ def _load_or_run(traces: Optional[Path], seed: int):
               file=sys.stderr)
         return TraceWarehouse(collectors), None
     result = run_study(StudyConfig(n_machines=6, duration_seconds=120,
-                                   seed=seed))
+                                   seed=seed, workers=workers))
     return TraceWarehouse.from_study(result), result
 
 
@@ -118,7 +145,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     telemetry = StudyTelemetry() if args.progress else None
     result = run_study(StudyConfig(
         n_machines=args.machines, duration_seconds=args.seconds,
-        seed=args.seed, content_scale=args.scale), telemetry=telemetry)
+        seed=args.seed, content_scale=args.scale,
+        workers=args.workers), telemetry=telemetry)
     print(f"collected {result.total_records} records from "
           f"{len(result.collectors)} machines")
     if args.out is not None:
@@ -137,6 +165,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def _study_meta(args: argparse.Namespace) -> dict:
+    # Deliberately excludes --workers: the worker topology is execution
+    # detail, not a study parameter, and perf.json must stay byte-identical
+    # between serial and parallel runs of the same study.
     return {"machines": args.machines, "seconds": args.seconds,
             "seed": args.seed, "scale": args.scale}
 
@@ -147,7 +178,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.patterns import access_pattern_table
     from repro.analysis.report import summarize_observations
 
-    warehouse, result = _load_or_run(args.traces, args.seed)
+    warehouse, result = _load_or_run(args.traces, args.seed, args.workers)
     counters = result.counters if result is not None else None
     print(summarize_observations(warehouse, counters).format())
     print("\nTable 2 (user activity):")
@@ -184,7 +215,7 @@ def _print_archived_perf(traces: Path) -> None:
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures import figure_series, write_csv
 
-    warehouse, _result = _load_or_run(args.traces, args.seed)
+    warehouse, _result = _load_or_run(args.traces, args.seed, args.workers)
     figures = figure_series(warehouse, np.random.default_rng(args.seed))
     paths = write_csv(figures, args.out)
     for path in paths:
@@ -208,7 +239,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
     with telemetry.phase("simulate"):
         result = run_study(StudyConfig(
             n_machines=args.machines, duration_seconds=args.seconds,
-            seed=args.seed, content_scale=args.scale), telemetry=telemetry)
+            seed=args.seed, content_scale=args.scale,
+            workers=args.workers), telemetry=telemetry)
     with telemetry.phase("warehouse"):
         warehouse = TraceWarehouse.from_study(result)
         _ = warehouse.instances
@@ -221,9 +253,16 @@ def cmd_perf(args: argparse.Namespace) -> int:
     for name, seconds in sorted(telemetry.phase_seconds.items()):
         print(f"  {name:<12} {seconds:8.3f} s")
     if args.bench_json is not None:
+        from repro.workload.parallel import resolve_workers
+
         payload = telemetry.bench_payload()
         payload["records"] = result.total_records
         payload["machines"] = len(result.collectors)
+        # null = serial; otherwise the resolved worker-process count, so
+        # the CI baseline can track the serial-vs-parallel speedup.
+        payload["workers"] = (
+            None if args.workers is None
+            else resolve_workers(args.workers, args.machines))
         args.bench_json.parent.mkdir(parents=True, exist_ok=True)
         args.bench_json.write_text(
             json.dumps(payload, sort_keys=True, indent=1) + "\n")

@@ -131,8 +131,12 @@ class CacheManager:
         self._perf_evicted = perf.counter("cc.pages_evicted")
         # LRU over resident pages: (id(map), page) -> map.
         self._lru: "OrderedDict[tuple[int, int], SharedCacheMap]" = OrderedDict()
-        # Maps with dirty pages, for the lazy writer's scans.
-        self.dirty_maps: set[SharedCacheMap] = set()
+        # Maps with dirty pages, for the lazy writer's scans.  A dict used
+        # as an insertion-ordered set: SharedCacheMap hashes by identity,
+        # so a real set would iterate in memory-address order and the lazy
+        # writer's flush order would depend on the process's allocation
+        # history — the simulation must be reproducible across processes.
+        self.dirty_maps: dict[SharedCacheMap, None] = {}
 
     # ------------------------------------------------------------------ #
     # Cache map lifecycle.
@@ -190,7 +194,7 @@ class CacheManager:
                     self._lru.pop((id(cmap), page), None)
                     cmap.pages.discard(page)
                 cmap.dirty.clear()
-                self.dirty_maps.discard(cmap)
+                self.dirty_maps.pop(cmap, None)
             if cmap.written_pending_eof:
                 machine.fs_services.issue_set_end_of_file(fo, node.size)
                 cmap.written_pending_eof = False
@@ -293,7 +297,7 @@ class CacheManager:
         self._evict_if_needed()
         node.valid_data_length = max(node.valid_data_length, offset + length)
         cmap.written_pending_eof = True
-        self.dirty_maps.add(cmap)
+        self.dirty_maps.setdefault(cmap)
         machine.counters["cc.cached_writes"] += 1
         if self._perf.enabled:
             self._perf_writes.add(1)
@@ -314,7 +318,7 @@ class CacheManager:
                                      background=background)
             flushed += len(page_span(run_offset, run_length))
         cmap.dirty.clear()
-        self.dirty_maps.discard(cmap)
+        self.dirty_maps.pop(cmap, None)
         self.machine.counters["cc.pages_flushed"] += flushed
         if self._perf.enabled:
             self._perf_flush_pages.add(flushed)
@@ -337,7 +341,7 @@ class CacheManager:
                                  (target[-1] - target[0] + 1) * PAGE_SIZE,
                                  background=False)
         if not cmap.dirty:
-            self.dirty_maps.discard(cmap)
+            self.dirty_maps.pop(cmap, None)
         self.machine.counters["cc.pages_flushed"] += len(target)
         if self._perf.enabled:
             self._perf_flush_pages.add(len(target))
@@ -366,7 +370,7 @@ class CacheManager:
         if dirty_dropped:
             self.machine.counters["cc.dirty_purged_on_truncate"] += dirty_dropped
         if not cmap.dirty:
-            self.dirty_maps.discard(cmap)
+            self.dirty_maps.pop(cmap, None)
         return dirty_dropped
 
     def discard(self, node: FileNode) -> int:
@@ -380,7 +384,7 @@ class CacheManager:
         cmap.pages.clear()
         cmap.dirty.clear()
         cmap.ra_pages.clear()
-        self.dirty_maps.discard(cmap)
+        self.dirty_maps.pop(cmap, None)
         if dirty_dropped:
             self.machine.counters["cc.dirty_discarded_on_delete"] += dirty_dropped
         node.cache_map = None

@@ -130,7 +130,7 @@ class LazyWriter:
                 self._perf_flush_runs.add(1)
                 self._perf_bytes.add(run_length)
         if not cmap.dirty:
-            machine.cc.dirty_maps.discard(cmap)
+            machine.cc.dirty_maps.pop(cmap, None)
         machine.cc.shed_excess()
         machine.counters["lw.pages_written"] += written
         if self._perf.enabled:

@@ -37,7 +37,14 @@ def _read_str(buf: BinaryIO) -> str:
     return buf.read(length).decode("utf-8")
 
 
-def _pack_collector(collector: TraceCollector) -> bytes:
+def pack_collector(collector: TraceCollector) -> bytes:
+    """Serialise a collector to the packed binary record format.
+
+    This is the archive's payload (before compression) and the transport
+    format of the parallel study engine: trace records are slotted frozen
+    dataclasses that do not pickle, so worker processes send their
+    collector back as these bytes (:mod:`repro.workload.parallel`).
+    """
     buf = io.BytesIO()
     _write_str(buf, collector.machine_name)
     # Trace records.
@@ -75,7 +82,8 @@ def _pack_collector(collector: TraceCollector) -> bytes:
     return buf.getvalue()
 
 
-def _unpack_collector(raw: bytes) -> TraceCollector:
+def unpack_collector(raw: bytes) -> TraceCollector:
+    """Rebuild a collector from :func:`pack_collector` bytes."""
     buf = io.BytesIO(raw)
     collector = TraceCollector(_read_str(buf))
     (n_records,) = struct.unpack("<Q", buf.read(8))
@@ -117,7 +125,7 @@ def _unpack_collector(raw: bytes) -> TraceCollector:
 def save_collector(collector: TraceCollector,
                    path: Union[str, Path]) -> int:
     """Write a collector to disk; returns the compressed byte count."""
-    payload = zlib.compress(_pack_collector(collector), level=6)
+    payload = zlib.compress(pack_collector(collector), level=6)
     data = _MAGIC + struct.pack("<Q", len(payload)) + payload
     Path(path).write_bytes(data)
     return len(data)
@@ -130,7 +138,7 @@ def load_collector(path: Union[str, Path]) -> TraceCollector:
         raise ValueError(f"{path}: not a trace store file")
     (length,) = struct.unpack("<Q", data[8:16])
     payload = data[16:16 + length]
-    return _unpack_collector(zlib.decompress(payload))
+    return unpack_collector(zlib.decompress(payload))
 
 
 def save_study(collectors, directory: Union[str, Path]) -> list[Path]:

@@ -33,8 +33,8 @@ from repro.workload.apps import (
     APP_REGISTRY,
 )
 from repro.workload.users import UsageCategory, CATEGORY_PROFILES, build_machine
-from repro.workload.study import (StudyConfig, StudyResult, StudyTelemetry,
-                                  run_study)
+from repro.workload.study import (StudyConfig, StudyError, StudyResult,
+                                  StudyTelemetry, run_study)
 
 __all__ = [
     "ContentCatalog",
@@ -61,6 +61,7 @@ __all__ = [
     "CATEGORY_PROFILES",
     "build_machine",
     "StudyConfig",
+    "StudyError",
     "StudyResult",
     "StudyTelemetry",
     "run_study",

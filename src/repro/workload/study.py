@@ -6,6 +6,15 @@ drives heavy-tailed application sessions on every machine, takes start and
 end snapshots, and returns the collectors — the equivalent of the paper's
 4-week, 45-machine data collection, scaled down in duration.
 
+The per-machine simulation is factored into :func:`simulate_machine`, the
+unit of fan-out for the parallel engine (:mod:`repro.workload.parallel`):
+every random stream a machine consumes derives from ``config.seed`` and
+the machine index alone, so a machine produces identical traces whether it
+runs inline or in a worker process.  :func:`merge_artifacts` is the
+order-stable merge both paths share — results are assembled in machine
+index order, never completion order, which keeps a study's output
+byte-identical across worker counts.
+
 :class:`StudyTelemetry` is the run's progress layer: structured
 per-machine (and, for day-scale runs, per-simulated-day) progress lines,
 plus wall-clock self-profiling of the simulate → warehouse-build →
@@ -17,10 +26,11 @@ progress stream and the CI ``BENCH_perf.json`` baseline.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, TextIO
+from typing import Iterator, Mapping, Optional, Sequence, TextIO
 
 import numpy as np
 
@@ -43,6 +53,10 @@ DEFAULT_CATEGORY_MIX: tuple[tuple[str, float], ...] = (
 )
 
 
+class StudyError(RuntimeError):
+    """A study failed to run to completion (e.g. a parallel worker died)."""
+
+
 @dataclass
 class StudyConfig:
     """Parameters of one trace collection run."""
@@ -58,6 +72,11 @@ class StudyConfig:
     # Optional periodic snapshots between the start and end walks (the
     # paper's daily 4 a.m. schedule, scaled to the study duration).
     snapshot_interval_seconds: Optional[float] = None
+    # Parallel execution: None runs machines serially in-process; an int
+    # fans the machines out over that many worker processes (0 = one per
+    # CPU core).  Results are byte-identical either way — workers decide
+    # only *where* a machine simulates, never *what* it produces.
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -90,6 +109,11 @@ class StudyTelemetry:
     a pipeline stage (simulate, warehouse, analysis) in wall-clock
     seconds; phases are always recorded even when line printing is off,
     so benchmarks can self-profile silently.
+
+    Thread-safe: during parallel runs worker events are forwarded by the
+    engine's queue-drain thread while the main thread may emit too, so
+    each line is rendered and written whole under a lock — lines never
+    interleave mid-line.
     """
 
     def __init__(self, stream: Optional[TextIO] = None,
@@ -98,16 +122,24 @@ class StudyTelemetry:
         self.verbose = verbose
         self.phase_seconds: dict[str, float] = {}
         self.events: list[dict] = []
+        self._lock = threading.Lock()
 
     def emit(self, event: str, **fields) -> None:
         """Record (and optionally print) one structured progress event."""
         record = {"event": event, **fields}
-        self.events.append(record)
-        if self.verbose:
-            rendered = " ".join(
-                f"{key}={self._render(value)}"
-                for key, value in record.items())
-            print(f"[telemetry] {rendered}", file=self.stream)
+        with self._lock:
+            self.events.append(record)
+            if self.verbose:
+                rendered = " ".join(
+                    f"{key}={self._render(value)}"
+                    for key, value in record.items())
+                self.stream.write(f"[telemetry] {rendered}\n")
+                self.stream.flush()
+
+    def emit_record(self, record: Mapping) -> None:
+        """Re-emit an event dict produced elsewhere (a worker process)."""
+        fields = dict(record)
+        self.emit(fields.pop("event"), **fields)
 
     @staticmethod
     def _render(value) -> str:
@@ -134,26 +166,45 @@ class StudyTelemetry:
                            sorted(self.phase_seconds.items())}}
 
 
-def _assign_categories(config: StudyConfig,
-                       rng: np.random.Generator) -> list[str]:
-    """Largest-remainder apportionment of machines to categories.
+def _apportion(weights: Sequence[float], total: int) -> list[int]:
+    """Largest-remainder apportionment of ``total`` units over ``weights``.
 
-    Guarantees every category with enough weight gets representation even
-    for small fleets (naive rounding drops the 10% categories entirely).
+    Every weight's floor share is granted first; the units lost to
+    flooring go to the largest fractional remainders.  Guarantees the
+    counts always sum to ``total`` and each count is within one of its
+    exact share, so every category whose exact share reaches 1 is
+    represented (naive rounding drops the 10% categories entirely on
+    small fleets).
     """
-    names = [name for name, _w in config.category_mix]
-    weights = np.array([w for _n, w in config.category_mix], dtype=float)
-    weights /= weights.sum()
-    exact = weights * config.n_machines
+    w = np.asarray(list(weights), dtype=float)
+    w = w / w.sum()
+    exact = w * total
     counts = np.floor(exact).astype(int)
     remainders = exact - counts
-    short = config.n_machines - int(counts.sum())
+    short = total - int(counts.sum())
     for idx in np.argsort(-remainders)[:short]:
         counts[idx] += 1
+    return [int(c) for c in counts]
+
+
+def _assign_categories(config: StudyConfig, rng=None) -> list[str]:
+    """Machine categories for a study, in stable category-mix order.
+
+    Purely a function of the config (``rng`` is accepted for backward
+    compatibility and unused), which is what lets the serial and parallel
+    engines agree on machine identities without sharing any state.
+    """
     assigned: list[str] = []
-    for name, count in zip(names, counts):
-        assigned.extend([name] * int(count))
+    counts = _apportion([w for _n, w in config.category_mix],
+                        config.n_machines)
+    for (name, _w), count in zip(config.category_mix, counts):
+        assigned.extend([name] * count)
     return assigned
+
+
+def machine_name_for(index: int, category_name: str) -> str:
+    """The stable identity of machine ``index`` in a study."""
+    return f"m{index:02d}-{category_name}"
 
 
 class _MachineWorkload:
@@ -290,67 +341,114 @@ def _install_day_marks(machine, horizon: int,
         day += 1
 
 
-def run_study(config: StudyConfig,
-              telemetry: Optional[StudyTelemetry] = None) -> StudyResult:
-    """Run a full trace collection study and return its results."""
-    rng = np.random.default_rng(config.seed)
+@dataclass
+class MachineArtifact:
+    """One machine's complete simulation output, ready to merge."""
+
+    index: int
+    name: str
+    category: str
+    collector: TraceCollector
+    counters: dict[str, int]
+    perf: dict
+
+
+def simulate_machine(config: StudyConfig, index: int, category_name: str,
+                     n_total: int,
+                     telemetry: Optional[StudyTelemetry] = None
+                     ) -> MachineArtifact:
+    """Simulate one machine of a study — the unit of parallel fan-out.
+
+    Fully self-contained: the machine's seed derives from ``config.seed``
+    and ``index`` alone (``seed * 10_007 + index``), so the same machine
+    produces the same trace whether it runs inline in the serial loop or
+    in a worker process of :mod:`repro.workload.parallel`.
+    """
     horizon = ticks_from_seconds(config.duration_seconds)
-    categories = _assign_categories(config, rng)
-    collectors: list[TraceCollector] = []
-    machine_categories: dict[str, str] = {}
-    counters: dict[str, dict[str, int]] = {}
-    perf: dict[str, dict] = {}
+    name = machine_name_for(index, category_name)
+    seed = config.seed * 10_007 + index
+    built = build_machine(name, category_name, seed,
+                          content_scale=config.content_scale)
+    machine = built.machine
+    if config.with_network_shares:
+        share = Volume(label=f"srv-{built.username}",
+                       capacity_bytes=1024**3,
+                       disk=SCSI_ULTRA2_DISK)
+        built.remote_catalog = build_user_share(
+            share, machine.rng, username=built.username,
+            scale=config.content_scale)
+        built.remote_prefix = rf"\\fileserv\{built.username}"
+        machine.mount_remote(built.remote_prefix, share)
+        # Home-share paths in the remote catalog are share-relative.
+    machine.take_snapshots()
+    if config.snapshot_interval_seconds:
+        interval = ticks_from_seconds(config.snapshot_interval_seconds)
+        when = interval
+        while when < horizon:
+            machine.schedule(when, machine.take_snapshots)
+            when += interval
+    workload = _MachineWorkload(built, horizon, machine.rng)
+    workload.install()
+    if telemetry is not None:
+        _install_day_marks(machine, horizon, telemetry)
+    wall_started = time.perf_counter()
+    machine.run_until(horizon)
+    workload.shutdown()
+    machine.finish_tracing(
+        drain_ticks=ticks_from_seconds(config.drain_seconds))
+    machine.take_snapshots()
+    if telemetry is not None:
+        telemetry.emit(
+            "machine-done", machine=name, category=category_name,
+            index=index, of=n_total,
+            records=len(machine.collector.records),
+            sim_seconds=config.duration_seconds,
+            wall_seconds=time.perf_counter() - wall_started)
+    return MachineArtifact(index=index, name=name, category=category_name,
+                           collector=machine.collector,
+                           counters=dict(machine.counters),
+                           perf=machine.perf.snapshot())
 
-    for index, category_name in enumerate(categories):
-        name = f"m{index:02d}-{category_name}"
-        seed = config.seed * 10_007 + index
-        built = build_machine(name, category_name, seed,
-                              content_scale=config.content_scale)
-        machine = built.machine
-        if config.with_network_shares:
-            share = Volume(label=f"srv-{built.username}",
-                           capacity_bytes=1024**3,
-                           disk=SCSI_ULTRA2_DISK)
-            built.remote_catalog = build_user_share(
-                share, machine.rng, username=built.username,
-                scale=config.content_scale)
-            built.remote_prefix = rf"\\fileserv\{built.username}"
-            machine.mount_remote(built.remote_prefix, share)
-            # Home-share paths in the remote catalog are share-relative.
-        machine.take_snapshots()
-        if config.snapshot_interval_seconds:
-            interval = ticks_from_seconds(config.snapshot_interval_seconds)
-            when = interval
-            while when < horizon:
-                machine.schedule(when, machine.take_snapshots)
-                when += interval
-        workload = _MachineWorkload(built, horizon, machine.rng)
-        workload.install()
-        if telemetry is not None:
-            _install_day_marks(machine, horizon, telemetry)
-        wall_started = time.perf_counter()
-        machine.run_until(horizon)
-        workload.shutdown()
-        machine.finish_tracing(
-            drain_ticks=ticks_from_seconds(config.drain_seconds))
-        machine.take_snapshots()
-        collectors.append(machine.collector)
-        machine_categories[name] = category_name
-        counters[name] = dict(machine.counters)
-        perf[name] = machine.perf.snapshot()
-        if telemetry is not None:
-            telemetry.emit(
-                "machine-done", machine=name, category=category_name,
-                index=index, of=len(categories),
-                records=len(machine.collector.records),
-                sim_seconds=config.duration_seconds,
-                wall_seconds=time.perf_counter() - wall_started)
 
+def merge_artifacts(artifacts: Sequence[MachineArtifact],
+                    duration_ticks: int,
+                    telemetry: Optional[StudyTelemetry] = None
+                    ) -> StudyResult:
+    """Order-stable merge of per-machine artifacts into a study result.
+
+    Artifacts are assembled in machine *index* order regardless of the
+    order they arrive in, so a parallel run's ``StudyResult`` (and its
+    ``perf.json``) is byte-identical to the serial run's.
+    """
+    ordered = sorted(artifacts, key=lambda a: a.index)
+    collectors = [a.collector for a in ordered]
     if telemetry is not None:
         telemetry.emit("study-done", machines=len(collectors),
                        records=sum(len(c.records) for c in collectors))
-    return StudyResult(collectors=collectors,
-                       machine_categories=machine_categories,
-                       duration_ticks=horizon,
-                       counters=counters,
-                       perf=perf)
+    return StudyResult(
+        collectors=collectors,
+        machine_categories={a.name: a.category for a in ordered},
+        duration_ticks=duration_ticks,
+        counters={a.name: dict(a.counters) for a in ordered},
+        perf={a.name: a.perf for a in ordered})
+
+
+def run_study(config: StudyConfig,
+              telemetry: Optional[StudyTelemetry] = None) -> StudyResult:
+    """Run a full trace collection study and return its results.
+
+    With ``config.workers`` set, the per-machine loop fans out across a
+    process pool (see :mod:`repro.workload.parallel`); otherwise machines
+    simulate serially in-process.  Both paths produce identical results.
+    """
+    if config.workers is not None:
+        from repro.workload.parallel import run_study_parallel
+        return run_study_parallel(config, telemetry)
+    categories = _assign_categories(config)
+    artifacts = [
+        simulate_machine(config, index, category_name, len(categories),
+                         telemetry)
+        for index, category_name in enumerate(categories)]
+    return merge_artifacts(artifacts,
+                           ticks_from_seconds(config.duration_seconds),
+                           telemetry)

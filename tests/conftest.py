@@ -77,6 +77,52 @@ def make_file_on(machine):
 
 
 # --------------------------------------------------------------------- #
+# Deep-equality helpers for studies and collectors, shared by the
+# serial-vs-parallel differential harness and the trace-store round-trip
+# tests.
+
+def collector_state(collector) -> tuple:
+    """Complete comparable state of one collector.
+
+    Everything a collector accumulates — trace records, name records,
+    process identities, snapshots — as plain comparable values.  Two
+    collectors with equal state are interchangeable for every analysis.
+    """
+    return (
+        collector.machine_name,
+        list(collector.records),
+        list(collector.name_records),
+        dict(collector.process_names),
+        dict(collector.process_interactive),
+        [(label, when, list(records))
+         for label, when, records in collector.snapshots],
+    )
+
+
+def study_state(result) -> dict:
+    """Complete comparable state of a study result."""
+    return {
+        "collectors": [collector_state(c) for c in result.collectors],
+        "machine_categories": dict(result.machine_categories),
+        "duration_ticks": result.duration_ticks,
+        "counters": {name: dict(c) for name, c in result.counters.items()},
+        "perf": result.perf,
+    }
+
+
+def assert_studies_identical(a, b) -> None:
+    """Assert two study results are record-for-record identical."""
+    assert [c.machine_name for c in a.collectors] == \
+        [c.machine_name for c in b.collectors]
+    for ca, cb in zip(a.collectors, b.collectors):
+        assert collector_state(ca) == collector_state(cb), \
+            f"collector state differs for {ca.machine_name}"
+    sa, sb = study_state(a), study_state(b)
+    for key in sa:
+        assert sa[key] == sb[key], f"study {key} differs"
+
+
+# --------------------------------------------------------------------- #
 # A small end-to-end study, shared across analysis and integration tests.
 
 @pytest.fixture(scope="session")
