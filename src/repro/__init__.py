@@ -27,6 +27,8 @@ from repro.nt.perf import PerfRegistry
 from repro.nt.system import Machine, MachineConfig
 from repro.workload.study import (StudyConfig, StudyError, StudyResult,
                                   StudyTelemetry, run_study)
+from repro.replay import (ReplayConfig, ReplayResult, replay_archive,
+                          replay_collector)
 from repro.analysis.warehouse import TraceWarehouse
 
 __version__ = "1.0.0"
@@ -35,10 +37,14 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "PerfRegistry",
+    "ReplayConfig",
+    "ReplayResult",
     "StudyConfig",
     "StudyError",
     "StudyResult",
     "StudyTelemetry",
+    "replay_archive",
+    "replay_collector",
     "run_study",
     "TraceWarehouse",
     "__version__",

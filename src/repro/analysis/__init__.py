@@ -46,6 +46,14 @@ from repro.analysis.drilldown import (
 from repro.analysis.categories import by_category, format_category_table
 from repro.analysis.figures import figure_series, write_csv
 from repro.analysis.compare import TraceComparison, compare_warehouses, ks_distance
+from repro.analysis.fidelity import (
+    CORE_KINDS,
+    FidelityReport,
+    MachineFidelity,
+    TraceStats,
+    fidelity_report,
+    machine_fidelity,
+)
 
 __all__ = [
     "TraceWarehouse",
@@ -83,4 +91,10 @@ __all__ = [
     "TraceComparison",
     "compare_warehouses",
     "ks_distance",
+    "CORE_KINDS",
+    "FidelityReport",
+    "MachineFidelity",
+    "TraceStats",
+    "fidelity_report",
+    "machine_fidelity",
 ]

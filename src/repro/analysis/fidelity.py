@@ -1,0 +1,315 @@
+"""Replay fidelity: how faithfully a replayed trace matches its source.
+
+The replay engine's contract (:mod:`repro.replay.engine`) is that a
+closed-loop replay reproduces the source's operation stream record for
+record.  This module measures that contract from the traces themselves:
+a single streaming pass over each generation builds a
+:class:`TraceStats` summary — per-kind counts, read/write size samples,
+sequentiality, open durations, paging share, FastIO share — and a
+:class:`MachineFidelity` diffs the two generations per machine:
+
+* **Exact checks** — per-kind record counts for the core data path
+  (:data:`CORE_KINDS`) must match exactly in closed-loop mode; the
+  report's :attr:`~FidelityReport.all_core_match` gates CI on it.
+* **Distributional checks** — read/write size and open-duration
+  distributions are compared with the two-sample KS statistic
+  (:func:`repro.analysis.compare.ks_distance`), the same metric the
+  serial-vs-parallel differential tests use.
+* **Accounting** — the replay's own :class:`~repro.nt.io.initiator.\
+ReplayOutcome` (skips with reasons, divergences, pre-created nodes) is
+  folded into the report so unreplayable records are surfaced, never
+  silently dropped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Optional
+
+from repro.analysis.compare import ks_distance
+from repro.nt.tracing.records import TraceEventKind, TraceRecord
+
+# The core data path whose per-kind counts closed-loop replay must
+# reproduce exactly: open, read and write on both dispatch paths, and the
+# two-phase close.
+CORE_KINDS: tuple[str, ...] = (
+    "IRP_CREATE",
+    "IRP_READ",
+    "IRP_WRITE",
+    "FASTIO_READ",
+    "FASTIO_WRITE",
+    "IRP_CLEANUP",
+    "IRP_CLOSE",
+)
+
+_READ_KINDS = (TraceEventKind.IRP_READ, TraceEventKind.FASTIO_READ)
+_WRITE_KINDS = (TraceEventKind.IRP_WRITE, TraceEventKind.FASTIO_WRITE)
+
+
+class TraceStats:
+    """One generation's workload summary, built in a single record pass."""
+
+    def __init__(self) -> None:
+        self.n_records = 0
+        self.kind_counts: Counter = Counter()
+        self.read_sizes: list[int] = []
+        self.write_sizes: list[int] = []
+        self.open_durations: list[int] = []
+        self.sequential_transfers = 0
+        self.total_transfers = 0
+        self.paging_reads = 0
+        self.fastio_reads = 0
+        self.irp_reads = 0
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "TraceStats":
+        stats = cls()
+        # fo_id -> next sequential offset, for run detection.
+        cursors: dict[int, int] = {}
+        # fo_id -> CREATE t_start, consumed by the matching CLOSE.
+        open_at: dict[int, int] = {}
+        for rec in records:
+            stats.n_records += 1
+            kind = TraceEventKind(rec.kind)
+            stats.kind_counts[kind.name] += 1
+            if kind == TraceEventKind.IRP_CREATE:
+                open_at[rec.fo_id] = rec.t_start
+                cursors[rec.fo_id] = 0
+            elif kind == TraceEventKind.IRP_CLOSE:
+                started = open_at.pop(rec.fo_id, None)
+                if started is not None:
+                    stats.open_durations.append(rec.t_end - started)
+            elif kind in _READ_KINDS or kind in _WRITE_KINDS:
+                if kind in _READ_KINDS:
+                    stats.read_sizes.append(rec.length)
+                    if rec.is_paging:
+                        stats.paging_reads += 1
+                    if kind == TraceEventKind.FASTIO_READ:
+                        stats.fastio_reads += 1
+                    else:
+                        stats.irp_reads += 1
+                else:
+                    stats.write_sizes.append(rec.length)
+                stats.total_transfers += 1
+                if cursors.get(rec.fo_id) == rec.offset:
+                    stats.sequential_transfers += 1
+                cursors[rec.fo_id] = rec.offset + rec.length
+        return stats
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sequential_fraction(self) -> float:
+        if not self.total_transfers:
+            return float("nan")
+        return self.sequential_transfers / self.total_transfers
+
+    @property
+    def paging_read_fraction(self) -> float:
+        n_reads = len(self.read_sizes)
+        if not n_reads:
+            return float("nan")
+        return self.paging_reads / n_reads
+
+    @property
+    def fastio_read_share(self) -> float:
+        n_reads = self.fastio_reads + self.irp_reads
+        if not n_reads:
+            return float("nan")
+        return self.fastio_reads / n_reads
+
+    def to_dict(self) -> dict:
+        return {
+            "n_records": self.n_records,
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "sequential_fraction": self.sequential_fraction,
+            "paging_read_fraction": self.paging_read_fraction,
+            "fastio_read_share": self.fastio_read_share,
+            "n_reads": len(self.read_sizes),
+            "n_writes": len(self.write_sizes),
+            "n_opens": len(self.open_durations),
+        }
+
+
+def _nan_to_none(value: float) -> Optional[float]:
+    return None if value != value else value
+
+
+class MachineFidelity:
+    """The first- vs second-generation diff for one machine."""
+
+    def __init__(self, name: str, source: TraceStats, replayed: TraceStats,
+                 outcome: Optional[Mapping] = None) -> None:
+        self.name = name
+        self.source = source
+        self.replayed = replayed
+        # The replay engine's own accounting (ReplayOutcome.to_dict()).
+        self.outcome = dict(outcome) if outcome is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Exact checks.
+
+    def count_delta(self, kind_name: str) -> int:
+        return (self.replayed.kind_counts.get(kind_name, 0)
+                - self.source.kind_counts.get(kind_name, 0))
+
+    @property
+    def core_mismatches(self) -> dict[str, int]:
+        """Core-path kinds whose replayed count differs, with the delta."""
+        return {kind: delta for kind in CORE_KINDS
+                if (delta := self.count_delta(kind))}
+
+    @property
+    def core_match(self) -> bool:
+        return not self.core_mismatches
+
+    @property
+    def kind_deltas(self) -> dict[str, int]:
+        """Every kind whose count differs between generations."""
+        kinds = set(self.source.kind_counts) | set(self.replayed.kind_counts)
+        return {kind: delta for kind in sorted(kinds)
+                if (delta := self.count_delta(kind))}
+
+    # ------------------------------------------------------------------ #
+    # Distributional checks.
+
+    @property
+    def read_size_ks(self) -> float:
+        return ks_distance(self.source.read_sizes, self.replayed.read_sizes)
+
+    @property
+    def write_size_ks(self) -> float:
+        return ks_distance(self.source.write_sizes,
+                           self.replayed.write_sizes)
+
+    @property
+    def open_duration_ks(self) -> float:
+        return ks_distance(self.source.open_durations,
+                           self.replayed.open_durations)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def unreplayable(self) -> dict[str, dict[str, int]]:
+        """kind -> {reason -> count} the replay reported as skipped."""
+        if not self.outcome:
+            return {}
+        return self.outcome.get("skipped", {})
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.name,
+            "core_match": self.core_match,
+            "core_mismatches": self.core_mismatches,
+            "kind_deltas": self.kind_deltas,
+            "read_size_ks": _nan_to_none(self.read_size_ks),
+            "write_size_ks": _nan_to_none(self.write_size_ks),
+            "open_duration_ks": _nan_to_none(self.open_duration_ks),
+            "sequential_fraction": {
+                "source": _nan_to_none(self.source.sequential_fraction),
+                "replayed": _nan_to_none(self.replayed.sequential_fraction),
+            },
+            "paging_read_fraction": {
+                "source": _nan_to_none(self.source.paging_read_fraction),
+                "replayed": _nan_to_none(self.replayed.paging_read_fraction),
+            },
+            "fastio_read_share": {
+                "source": _nan_to_none(self.source.fastio_read_share),
+                "replayed": _nan_to_none(self.replayed.fastio_read_share),
+            },
+            "source": self.source.to_dict(),
+            "replayed": self.replayed.to_dict(),
+            "outcome": self.outcome,
+        }
+
+
+def machine_fidelity(name: str,
+                     source_records: Iterable[TraceRecord],
+                     replayed_records: Iterable[TraceRecord],
+                     outcome: Optional[Mapping] = None) -> MachineFidelity:
+    """Diff two record streams (accepts iterators; single pass each)."""
+    return MachineFidelity(name,
+                           TraceStats.from_records(source_records),
+                           TraceStats.from_records(replayed_records),
+                           outcome)
+
+
+class FidelityReport:
+    """A whole study's replay fidelity, one section per machine."""
+
+    def __init__(self, machines: list[MachineFidelity], mode: str) -> None:
+        self.machines = machines
+        self.mode = mode
+
+    @property
+    def all_core_match(self) -> bool:
+        return all(m.core_match for m in self.machines)
+
+    @property
+    def total_skipped(self) -> int:
+        return sum(sum(reasons.values())
+                   for m in self.machines
+                   for reasons in m.unreplayable.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "nt-replay-fidelity-1",
+            "mode": self.mode,
+            "all_core_match": self.all_core_match,
+            "core_kinds": list(CORE_KINDS),
+            "n_machines": len(self.machines),
+            "total_skipped": self.total_skipped,
+            "machines": [m.to_dict() for m in self.machines],
+        }
+
+    def format(self) -> str:
+        """Render the report as an operator-facing text table."""
+        title = f"Replay fidelity ({self.mode}-loop)"
+        lines = [title, "=" * len(title)]
+        verdict = ("all core per-kind counts match"
+                   if self.all_core_match else "CORE-PATH COUNT MISMATCH")
+        lines.append(f"  machines: {len(self.machines)}   verdict: {verdict}")
+        for m in self.machines:
+            lines.append("")
+            lines.append(f"  {m.name}")
+            lines.append(f"    records: source {m.source.n_records:,} -> "
+                         f"replayed {m.replayed.n_records:,}")
+            if m.core_mismatches:
+                for kind, delta in m.core_mismatches.items():
+                    lines.append(f"    CORE MISMATCH {kind}: {delta:+d}")
+            else:
+                lines.append("    core path: exact match "
+                             f"({', '.join(CORE_KINDS)})")
+            extras = {kind: delta for kind, delta in m.kind_deltas.items()
+                      if kind not in CORE_KINDS}
+            for kind, delta in extras.items():
+                lines.append(f"    delta {kind}: {delta:+d}")
+            for metric, value in (("read-size KS", m.read_size_ks),
+                                  ("write-size KS", m.write_size_ks),
+                                  ("open-duration KS", m.open_duration_ks)):
+                if value == value:
+                    lines.append(f"    {metric}: {value:.4f}")
+            if m.unreplayable:
+                for kind, reasons in sorted(m.unreplayable.items()):
+                    for reason, count in sorted(reasons.items()):
+                        lines.append(
+                            f"    unreplayable {kind}: {count} ({reason})")
+            if m.outcome:
+                lines.append(
+                    f"    precreated nodes: "
+                    f"{m.outcome.get('nodes_precreated', 0)}   "
+                    f"forced bindings: "
+                    f"{m.outcome.get('forced_bindings', 0)}   "
+                    f"divergences: status "
+                    f"{sum(m.outcome.get('status_divergences', {}).values())}"
+                    f" / returned "
+                    f"{sum(m.outcome.get('returned_divergences', {}).values())}")
+        return "\n".join(lines)
+
+
+def fidelity_report(pairs, mode: str) -> FidelityReport:
+    """Build a report from (name, source records, replayed records,
+    outcome dict or None) tuples."""
+    return FidelityReport(
+        [machine_fidelity(name, src, rep, outcome)
+         for name, src, rep, outcome in pairs], mode)

@@ -6,12 +6,15 @@
     python -m repro report traces/
     python -m repro figures traces/ --out figure-data/
     python -m repro perf   --machines 2 --seconds 30
+    python -m repro replay --traces traces/ --mode closed
 
 ``run`` simulates a trace collection and archives it; ``report`` prints
 the paper's tables from an archive (or runs a fresh study when no archive
 is given); ``figures`` exports every figure's data series as CSV; ``perf``
 prints the performance-monitor counter table (from a dumped ``perf.json``
-or a fresh study) and can emit a wall-clock pipeline baseline for CI.
+or a fresh study) and can emit a wall-clock pipeline baseline for CI;
+``replay`` re-drives an archived study through fresh machines and prints
+the first- vs second-generation fidelity report.
 """
 
 from __future__ import annotations
@@ -100,6 +103,27 @@ def _build_parser() -> argparse.ArgumentParser:
                            " simulate/warehouse/analysis pipeline here"
                            " (the CI BENCH_perf baseline)")
     _add_workers_option(perf)
+
+    replay = sub.add_parser(
+        "replay", help="re-drive an archived study through the simulator")
+    replay.add_argument("--traces", type=Path, required=True,
+                        help=".nttrace archive directory to replay")
+    replay.add_argument("--mode", choices=("open", "closed"),
+                        default="closed",
+                        help="closed = dependency order, as fast as the"
+                             " simulator allows (default); open = honor"
+                             " recorded start times against the simulated"
+                             " clock")
+    replay.add_argument("--seed", type=int, default=1998)
+    replay.add_argument("--out", type=Path, default=None,
+                        help="directory for the second-generation .nttrace"
+                             " archive")
+    replay.add_argument("--fidelity-json", type=Path, default=None,
+                        help="write the machine-by-machine fidelity report"
+                             " here as JSON")
+    replay.add_argument("--progress", action="store_true",
+                        help="emit per-machine telemetry lines to stderr")
+    _add_workers_option(replay)
     return parser
 
 
@@ -109,9 +133,10 @@ def _load_or_run(traces: Optional[Path], seed: int,
     from repro.nt.tracing.store import load_study
 
     if traces is not None:
-        collectors = load_study(traces)
-        if not collectors:
-            raise SystemExit(f"no .nttrace files found in {traces}")
+        try:
+            collectors = load_study(traces)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
         print(f"loaded {len(collectors)} machines from {traces}",
               file=sys.stderr)
         return TraceWarehouse(collectors), None
@@ -270,10 +295,53 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import StudyTelemetry
+    from repro.analysis.fidelity import fidelity_report
+    from repro.nt.tracing.store import (iter_trace_records, save_study,
+                                        study_paths)
+    from repro.replay import ReplayConfig, replay_archive
+
+    config = ReplayConfig(mode=args.mode, seed=args.seed,
+                          workers=args.workers)
+    telemetry = StudyTelemetry() if args.progress else None
+    try:
+        source_paths = study_paths(args.traces)
+        result = replay_archive(args.traces, config, telemetry=telemetry)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    report = fidelity_report(
+        [(machine.name, iter_trace_records(path),
+          machine.collector.records, machine.outcome.to_dict())
+         for path, machine in zip(source_paths, result.machines)],
+        mode=args.mode)
+    print(report.format())
+    if args.out is not None:
+        paths = save_study(result.collectors, args.out)
+        total = sum(p.stat().st_size for p in paths)
+        print(f"\narchived {len(paths)} replayed machines to {args.out} "
+              f"({total / 1024:.0f} KB)")
+    if args.fidelity_json is not None:
+        args.fidelity_json.parent.mkdir(parents=True, exist_ok=True)
+        args.fidelity_json.write_text(
+            json.dumps(report.to_dict(), sort_keys=True, indent=1) + "\n")
+        print(f"wrote fidelity report to {args.fidelity_json}")
+    # Closed-loop replay promises exact core-path counts; failing that is
+    # an error the exit code reports (the CI replay-smoke gate).
+    if args.mode == "closed" and not report.all_core_match:
+        print("closed-loop core-path counts diverged from the source",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "report": cmd_report,
-                "figures": cmd_figures, "perf": cmd_perf}
+                "figures": cmd_figures, "perf": cmd_perf,
+                "replay": cmd_replay}
     return handlers[args.command](args)
 
 

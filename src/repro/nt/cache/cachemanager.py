@@ -137,6 +137,12 @@ class CacheManager:
         # writer's flush order would depend on the process's allocation
         # history — the simulation must be reproducible across processes.
         self.dirty_maps: dict[SharedCacheMap, None] = {}
+        # Replay mode: treat every copy access as a cache hit and stage no
+        # dirty pages.  The source trace already contains the paging IRPs
+        # the cache generated the first time; the replay engine injects
+        # them verbatim, so regenerating fault-ins, read-aheads, flushes or
+        # the trailing SetEndOfFile would double-count them.
+        self.assume_resident = False
 
     # ------------------------------------------------------------------ #
     # Cache map lifecycle.
@@ -228,6 +234,11 @@ class CacheManager:
         pages = page_span(offset, returned)
         machine.charge_cpu(
             _COPY_BASE_MICROS + _COPY_PER_PAGE_MICROS * len(pages))
+        if self.assume_resident:
+            machine.counters["cc.read_hits"] += 1
+            if self._perf.enabled:
+                self._perf_hits.add(1)
+            return NtStatus.SUCCESS, returned, True
         missing = [p for p in pages if p not in cmap.pages]
         hit = not missing
         if self._perf.enabled:
@@ -276,6 +287,14 @@ class CacheManager:
         pages = page_span(offset, length)
         machine.charge_cpu(
             _COPY_BASE_MICROS + _COPY_PER_PAGE_MICROS * len(pages))
+        if self.assume_resident:
+            node.valid_data_length = max(node.valid_data_length,
+                                         offset + length)
+            machine.counters["cc.cached_writes"] += 1
+            if self._perf.enabled:
+                self._perf_writes.add(1)
+                self._perf_write_bytes.add(length)
+            return NtStatus.SUCCESS, length
         # Fault in boundary pages that hold pre-existing data the write
         # does not fully cover.
         for boundary, is_start in ((pages[0], True), (pages[-1], False)):

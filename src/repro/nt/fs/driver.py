@@ -69,7 +69,9 @@ _WRITE_DISPATCH = 10.0
 
 # A small fraction of FastIO data calls is declined (byte-range locks,
 # compressed ranges, ...), exercising the IRP retry the paper describes.
-_FASTIO_DECLINE_PROBABILITY = 0.01
+# The rate comes from MachineConfig.fastio_decline_probability (default
+# 0.01); replay machines set 0.0 because declined FastIO calls are never
+# recorded and would silently drop injected records.
 
 
 class FileSystemDriver(Driver):
@@ -468,7 +470,7 @@ class FileSystemDriver(Driver):
             # Compressed ranges take the IRP path (the paper's follow-up
             # traces examined reads from compressed large files).
             return FastIoResult.declined()
-        if machine.rng.random() < _FASTIO_DECLINE_PROBABILITY:
+        if machine.rng.random() < machine.config.fastio_decline_probability:
             machine.counters["fastio.declined"] += 1
             return FastIoResult.declined()
         status, returned, _hit = machine.cc.copy_read(fo, irp_like.offset,
@@ -487,7 +489,7 @@ class FileSystemDriver(Driver):
         if (fo.private_cache_map is None or not isinstance(node, FileNode)
                 or fo.has_flag(FileObjectFlags.NO_INTERMEDIATE_BUFFERING)):
             return FastIoResult.declined()
-        if machine.rng.random() < _FASTIO_DECLINE_PROBABILITY:
+        if machine.rng.random() < machine.config.fastio_decline_probability:
             machine.counters["fastio.declined"] += 1
             return FastIoResult.declined()
         end = irp_like.offset + irp_like.length

@@ -54,6 +54,28 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Gauge:
+    """A last-value-wins metric (e.g. a replay run's divergence total).
+
+    Unlike a :class:`Counter` it is *set*, not incremented, so a re-run of
+    the producing phase overwrites rather than accumulates.
+    """
+
+    __slots__ = ("name", "value", "touched")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.touched = False
+
+    def set(self, value: int) -> None:
+        self.value = value
+        self.touched = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
 class LatencyHistogram:
     """Fixed-bucket log₂-scale latency histogram over 100 ns ticks.
 
@@ -122,6 +144,7 @@ class PerfRegistry:
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     # ------------------------------------------------------------------ #
     # Registration and update.
@@ -139,6 +162,18 @@ class PerfRegistry:
         if hist is None:
             hist = self._histograms[name] = LatencyHistogram(name)
         return hist
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def set_gauge(self, name: str, value: int) -> None:
+        """Convenience setter for cold instrumentation sites."""
+        if self.enabled:
+            self.gauge(name).set(value)
 
     def count(self, name: str, n: int = 1) -> None:
         """Convenience increment for cold instrumentation sites."""
@@ -164,7 +199,7 @@ class PerfRegistry:
         Deterministic: keys are sorted and values derive only from
         simulated events, so equal seeds produce equal snapshots.
         """
-        return {
+        snap = {
             "counters": {name: c.value
                          for name, c in sorted(self._counters.items())
                          if c.value},
@@ -172,15 +207,25 @@ class PerfRegistry:
                            for name, h in sorted(self._histograms.items())
                            if h.count},
         }
+        # Gauges are a later addition; the key is omitted when none were
+        # set so pre-gauge perf.json files stay byte-identical.
+        gauges = {name: g.value for name, g in sorted(self._gauges.items())
+                  if g.touched}
+        if gauges:
+            snap["gauges"] = gauges
+        return snap
 
 
 def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
     """Aggregate per-machine snapshots into one fleet-wide snapshot."""
     counters: dict[str, int] = {}
     histograms: dict[str, dict] = {}
+    gauges: dict[str, int] = {}
     for snap in snapshots:
         for name, value in snap.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
         for name, h in snap.get("histograms", {}).items():
             agg = histograms.get(name)
             if agg is None:
@@ -192,8 +237,11 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
             agg["max_ticks"] = max(agg["max_ticks"], h["max_ticks"])
             for i, n in enumerate(h["bucket_counts"]):
                 agg["bucket_counts"][i] += n
-    return {"counters": dict(sorted(counters.items())),
-            "histograms": dict(sorted(histograms.items()))}
+    merged = {"counters": dict(sorted(counters.items())),
+              "histograms": dict(sorted(histograms.items()))}
+    if gauges:
+        merged["gauges"] = dict(sorted(gauges.items()))
+    return merged
 
 
 def _hist_from_dict(name: str, d: Mapping) -> LatencyHistogram:
@@ -216,6 +264,12 @@ def format_perf_table(snapshot: Mapping, title: str = "Performance monitor"
             lines.append(f"  {name:<52} {counters[name]:>12,}")
     else:
         lines.append("  (no counters recorded)")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"  {'Gauge':<52} {'Value':>12}")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<52} {gauges[name]:>12,}")
     histograms = snapshot.get("histograms", {})
     if histograms:
         lines.append("")

@@ -59,6 +59,15 @@ class MachineConfig:
     # Performance-monitor instrumentation (repro.nt.perf).  Disabling it
     # reduces every instrumentation site to one attribute check.
     perf_enabled: bool = True
+    # Probability that the FS driver declines a FastIO read/write (byte
+    # range locks, compressed ranges, ...), exercising the IRP retry of
+    # §10.  The replay engine sets 0.0: a declined FastIO call is never
+    # recorded, so a random decline would silently drop injected records.
+    fastio_decline_probability: float = 0.01
+    # Whether the lazy writer's periodic scan runs.  Replay machines
+    # quiesce it — write-behind traffic is injected from the source trace
+    # instead of regenerated.
+    lazy_writer_enabled: bool = True
 
 
 class Process:
@@ -119,8 +128,13 @@ class Machine:
         self._timer_seq = 0
         self.processes: dict[int, Process] = {}
         self._next_pid = 8
+        # When False, armed directory watches never deliver autonomously —
+        # the replay engine injects the recorded deliveries itself, and a
+        # machine-driven delivery on top would double-count them.
+        self.deliver_change_notifications = True
         self.win32 = Win32Api(self)
-        self.lazy_writer.start()
+        if config.lazy_writer_enabled:
+            self.lazy_writer.start()
 
     # ------------------------------------------------------------------ #
     # Volume mounting.
@@ -187,6 +201,8 @@ class Machine:
         re-arm), modelled as a NOTIFY_CHANGE_DIRECTORY request with
         control_code 1 so the trace filter records the delivery.
         """
+        if not self.deliver_change_notifications:
+            return
         watchers = self._dir_watchers.pop(id(directory), None)
         if not watchers:
             return

@@ -6,6 +6,8 @@ from repro.nt.tracing.records import (
     NameRecord,
     kind_for_irp,
     kind_for_fastio,
+    irp_for_kind,
+    fastio_op_for_kind,
     N_EVENT_KINDS,
 )
 from repro.nt.tracing.buffers import TripleBuffer, BUFFER_CAPACITY
@@ -13,10 +15,15 @@ from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.driver import TraceFilterDriver
 from repro.nt.tracing.snapshot import SnapshotRecord, take_snapshot
 from repro.nt.tracing.store import (
+    STORE_FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    iter_trace_records,
     load_collector,
     load_study,
+    read_store_header,
     save_collector,
     save_study,
+    study_paths,
 )
 
 __all__ = [
@@ -25,6 +32,8 @@ __all__ = [
     "NameRecord",
     "kind_for_irp",
     "kind_for_fastio",
+    "irp_for_kind",
+    "fastio_op_for_kind",
     "N_EVENT_KINDS",
     "TripleBuffer",
     "BUFFER_CAPACITY",
@@ -32,8 +41,13 @@ __all__ = [
     "TraceFilterDriver",
     "SnapshotRecord",
     "take_snapshot",
+    "STORE_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
+    "iter_trace_records",
     "load_collector",
     "load_study",
+    "read_store_header",
     "save_collector",
     "save_study",
+    "study_paths",
 ]

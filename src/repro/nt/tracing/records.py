@@ -137,6 +137,42 @@ def kind_for_fastio(op: FastIoOp) -> TraceEventKind:
     return _FASTIO_KIND_BY_OP[op]
 
 
+# --------------------------------------------------------------------- #
+# Inverse maps: record kind back to the dispatch that produced it.  The
+# replay engine uses these to re-issue archived records through the same
+# IRP/FastIO paths that recorded them.
+
+_MAJOR_MINOR_BY_KIND: dict[TraceEventKind, tuple[IrpMajor, IrpMinor]] = {
+    kind: (major, IrpMinor.NONE) for major, kind in _IRP_KIND_BY_MAJOR.items()
+}
+_MAJOR_MINOR_BY_KIND.update({
+    TraceEventKind.IRP_QUERY_DIRECTORY:
+        (IrpMajor.DIRECTORY_CONTROL, IrpMinor.QUERY_DIRECTORY),
+    TraceEventKind.IRP_NOTIFY_CHANGE_DIRECTORY:
+        (IrpMajor.DIRECTORY_CONTROL, IrpMinor.NOTIFY_CHANGE_DIRECTORY),
+    TraceEventKind.IRP_FSCTL_USER_REQUEST:
+        (IrpMajor.FILE_SYSTEM_CONTROL, IrpMinor.USER_FS_REQUEST),
+    TraceEventKind.IRP_FSCTL_MOUNT_VOLUME:
+        (IrpMajor.FILE_SYSTEM_CONTROL, IrpMinor.MOUNT_VOLUME),
+    TraceEventKind.IRP_FSCTL_VERIFY_VOLUME:
+        (IrpMajor.FILE_SYSTEM_CONTROL, IrpMinor.VERIFY_VOLUME),
+})
+
+
+def irp_for_kind(kind: TraceEventKind) -> tuple[IrpMajor, IrpMinor]:
+    """(major, minor) that reproduces an IRP-path record kind."""
+    if kind.is_fastio:
+        raise ValueError(f"{kind.name} is a FastIO kind, not an IRP kind")
+    return _MAJOR_MINOR_BY_KIND[kind]
+
+
+def fastio_op_for_kind(kind: TraceEventKind) -> FastIoOp:
+    """FastIO vector entry that reproduces a FastIO-path record kind."""
+    if not kind.is_fastio:
+        raise ValueError(f"{kind.name} is an IRP kind, not a FastIO kind")
+    return FastIoOp(int(kind) - int(TraceEventKind.FASTIO_CHECK_IF_POSSIBLE))
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One fixed-layout trace record (§3.2's per-operation record).

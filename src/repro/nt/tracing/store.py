@@ -21,7 +21,15 @@ from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.records import NameRecord, TraceRecord
 from repro.nt.tracing.snapshot import SnapshotRecord
 
-_MAGIC = b"NTTRACE1"
+# Header layout: 7-byte magic prefix, one ASCII-digit format version byte,
+# then a little-endian u64 payload length.  The original format spelled the
+# whole 8 bytes "NTTRACE1"; treating the trailing digit as a version byte
+# keeps every v1 archive readable while giving the replay engine room to
+# evolve the record format (v2 is written today; the payload is unchanged).
+_MAGIC_PREFIX = b"NTTRACE"
+_HEADER_LEN = len(_MAGIC_PREFIX) + 1 + 8
+STORE_FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 _RECORD = struct.Struct("<15q")
 _SNAP = struct.Struct("<?5q3q")  # is_dir + size/time fields + counts/depth
 
@@ -126,19 +134,124 @@ def save_collector(collector: TraceCollector,
                    path: Union[str, Path]) -> int:
     """Write a collector to disk; returns the compressed byte count."""
     payload = zlib.compress(pack_collector(collector), level=6)
-    data = _MAGIC + struct.pack("<Q", len(payload)) + payload
+    data = (_MAGIC_PREFIX + b"%d" % STORE_FORMAT_VERSION
+            + struct.pack("<Q", len(payload)) + payload)
     Path(path).write_bytes(data)
     return len(data)
 
 
-def load_collector(path: Union[str, Path]) -> TraceCollector:
-    """Read a collector written by :func:`save_collector`."""
-    data = Path(path).read_bytes()
-    if data[:8] != _MAGIC:
+def _parse_store(path, data: bytes) -> tuple[int, bytes]:
+    """Validate a store file's header; returns (version, compressed payload).
+
+    Every corruption mode raises ``ValueError`` naming the file: a foreign
+    or truncated header, an unknown format version, and — the case that
+    previously slipped through as a bare ``struct.error`` deep inside
+    :func:`unpack_collector` — a payload shorter (truncated copy) or longer
+    (concatenation damage) than the length the header declares.
+    """
+    if len(data) < _HEADER_LEN:
+        raise ValueError(
+            f"{path}: truncated trace store header "
+            f"({len(data)} bytes, need {_HEADER_LEN})")
+    if data[:len(_MAGIC_PREFIX)] != _MAGIC_PREFIX:
         raise ValueError(f"{path}: not a trace store file")
-    (length,) = struct.unpack("<Q", data[8:16])
-    payload = data[16:16 + length]
-    return unpack_collector(zlib.decompress(payload))
+    version_byte = data[len(_MAGIC_PREFIX):len(_MAGIC_PREFIX) + 1]
+    if not version_byte.isdigit():
+        raise ValueError(f"{path}: not a trace store file")
+    version = int(version_byte)
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ValueError(
+            f"{path}: unsupported trace store format version {version} "
+            f"(supported: {', '.join(map(str, SUPPORTED_FORMAT_VERSIONS))})")
+    (length,) = struct.unpack(
+        "<Q", data[len(_MAGIC_PREFIX) + 1:_HEADER_LEN])
+    actual = len(data) - _HEADER_LEN
+    if actual < length:
+        raise ValueError(
+            f"{path}: truncated payload — header declares {length} "
+            f"compressed bytes but the file holds {actual}")
+    if actual > length:
+        raise ValueError(
+            f"{path}: {actual - length} trailing bytes after the declared "
+            f"{length}-byte payload")
+    return version, data[_HEADER_LEN:]
+
+
+def _decompress(path, payload: bytes) -> bytes:
+    try:
+        return zlib.decompress(payload)
+    except zlib.error as exc:
+        raise ValueError(f"{path}: corrupt compressed payload: {exc}") \
+            from None
+
+
+def load_collector(path: Union[str, Path]) -> TraceCollector:
+    """Read a collector written by :func:`save_collector` (any version)."""
+    data = Path(path).read_bytes()
+    _version, payload = _parse_store(path, data)
+    return unpack_collector(_decompress(path, payload))
+
+
+class _StreamReader:
+    """Incremental zlib decompression presenting a blocking read(n)."""
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, path, payload: bytes) -> None:
+        self._path = path
+        self._view = memoryview(payload)
+        self._pos = 0
+        self._decomp = zlib.decompressobj()
+        self._buf = bytearray()
+
+    def read(self, n: int) -> bytes:
+        try:
+            while len(self._buf) < n and self._pos < len(self._view):
+                chunk = self._view[self._pos:self._pos + self._CHUNK]
+                self._pos += len(chunk)
+                self._buf += self._decomp.decompress(chunk)
+            if len(self._buf) < n and self._pos >= len(self._view):
+                self._buf += self._decomp.flush()
+        except zlib.error as exc:
+            raise ValueError(
+                f"{self._path}: corrupt compressed payload: {exc}") from None
+        if len(self._buf) < n:
+            raise ValueError(
+                f"{self._path}: payload ends mid-record "
+                f"(wanted {n} bytes, {len(self._buf)} left)")
+        out = bytes(self._buf[:n])
+        del self._buf[:n]
+        return out
+
+
+def read_store_header(path: Union[str, Path]) -> tuple[int, str, int]:
+    """(format version, machine name, record count) of a store file."""
+    data = Path(path).read_bytes()
+    version, payload = _parse_store(path, data)
+    reader = _StreamReader(path, payload)
+    (name_len,) = struct.unpack("<I", reader.read(4))
+    name = reader.read(name_len).decode("utf-8")
+    (n_records,) = struct.unpack("<Q", reader.read(8))
+    return version, name, n_records
+
+
+def iter_trace_records(path: Union[str, Path]):
+    """Stream a store file's trace records without building the collector.
+
+    Decompresses incrementally and yields one :class:`TraceRecord` at a
+    time, so a multi-gigabyte archive can be scanned (fidelity statistics,
+    kind counts) holding only the compressed bytes plus one record in
+    memory — the replay CLI uses this for the source side of the fidelity
+    report.  Name records, processes, and snapshots are not materialised.
+    """
+    data = Path(path).read_bytes()
+    _version, payload = _parse_store(path, data)
+    reader = _StreamReader(path, payload)
+    (name_len,) = struct.unpack("<I", reader.read(4))
+    reader.read(name_len)  # machine name, skipped
+    (n_records,) = struct.unpack("<Q", reader.read(8))
+    for _ in range(n_records):
+        yield TraceRecord(*_RECORD.unpack(reader.read(_RECORD.size)))
 
 
 def save_study(collectors, directory: Union[str, Path]) -> list[Path]:
@@ -153,8 +266,27 @@ def save_study(collectors, directory: Union[str, Path]) -> list[Path]:
     return paths
 
 
-def load_study(directory: Union[str, Path]) -> list[TraceCollector]:
-    """Read every trace store file in a directory, sorted by name."""
+def study_paths(directory: Union[str, Path]) -> list[Path]:
+    """The ``.nttrace`` files of an archived study, sorted by name.
+
+    Raises ``FileNotFoundError`` when the directory does not exist and
+    ``ValueError`` when it holds no trace files — downstream code treats a
+    silently-empty list as a zero-machine study, which hides typos.
+    """
     directory = Path(directory)
-    return [load_collector(p)
-            for p in sorted(directory.glob("*.nttrace"))]
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"trace archive directory {directory} does not exist")
+    paths = sorted(directory.glob("*.nttrace"))
+    if not paths:
+        raise ValueError(f"no .nttrace files found in {directory}")
+    return paths
+
+
+def load_study(directory: Union[str, Path]) -> list[TraceCollector]:
+    """Read every trace store file in a directory, sorted by name.
+
+    Raises ``FileNotFoundError`` / ``ValueError`` for a missing or empty
+    directory (see :func:`study_paths`).
+    """
+    return [load_collector(p) for p in study_paths(directory)]

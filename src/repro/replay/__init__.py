@@ -1,0 +1,25 @@
+"""Trace replay: re-drive archived ``.nttrace`` studies through the
+simulator and measure how faithfully the second-generation trace matches
+the first (see :mod:`repro.replay.engine` for the replay semantics and
+:mod:`repro.analysis.fidelity` for the diff)."""
+
+from repro.nt.io.initiator import ReplayInitiator, ReplayOutcome
+from repro.replay.engine import (
+    ReplayConfig,
+    ReplayedMachine,
+    build_replay_machine,
+    replay_collector,
+)
+from repro.replay.runner import ReplayResult, ReplayTask, replay_archive
+
+__all__ = [
+    "ReplayConfig",
+    "ReplayInitiator",
+    "ReplayOutcome",
+    "ReplayResult",
+    "ReplayTask",
+    "ReplayedMachine",
+    "build_replay_machine",
+    "replay_archive",
+    "replay_collector",
+]

@@ -146,15 +146,19 @@ def _drain_events(queue, telemetry: StudyTelemetry, stop: Event) -> None:
         telemetry.emit_record(record)
 
 
-def run_tasks(tasks: list[MachineTask], n_workers: int,
-              telemetry: Optional[StudyTelemetry] = None
-              ) -> list[MachineArtifact]:
-    """Execute machine tasks on a process pool; artifacts in index order.
+def run_pool(worker, tasks, n_workers: int,
+             telemetry: Optional[StudyTelemetry] = None,
+             describe=str) -> list:
+    """Execute per-machine tasks on a spawn-context process pool.
 
-    Any worker failure is raised as a :class:`StudyError` naming the
-    machine whose future failed (with a broken pool the earliest
-    still-pending machine is named, since the pool cannot attribute the
-    death more precisely).
+    The generic engine under both study simulation and trace replay
+    (:mod:`repro.replay.runner`): ``worker(task, events_queue)`` runs in a
+    worker process and returns a picklable payload; payloads come back in
+    *task* order, never completion order.  Any worker failure — an
+    exception, an unpicklable payload, or the process dying outright — is
+    raised as a :class:`StudyError` naming ``describe(task)`` (with a
+    broken pool the earliest still-pending task is named, since the pool
+    cannot attribute the death more precisely).
     """
     ctx = get_context(_MP_CONTEXT)
     manager = events_queue = drainer = None
@@ -165,35 +169,43 @@ def run_tasks(tasks: list[MachineTask], n_workers: int,
         drainer = Thread(target=_drain_events,
                          args=(events_queue, telemetry, stop), daemon=True)
         drainer.start()
-    artifacts: list[MachineArtifact] = []
+    payloads: list = []
     try:
         with ProcessPoolExecutor(max_workers=n_workers,
                                  mp_context=ctx) as pool:
-            futures = [(task, pool.submit(_simulate_task, task, events_queue))
+            futures = [(task, pool.submit(worker, task, events_queue))
                        for task in tasks]
             for task, future in futures:
                 try:
-                    payload = future.result()
+                    payloads.append(future.result())
                 except Exception as exc:
                     kind = ("worker process died"
                             if isinstance(exc, BrokenProcessPool)
                             else type(exc).__name__)
                     raise StudyError(
-                        f"parallel worker for machine {task.machine_name} "
+                        f"parallel worker for machine {describe(task)} "
                         f"failed ({kind}): {exc}") from exc
-                artifacts.append(MachineArtifact(
-                    index=payload["index"],
-                    name=payload["name"],
-                    category=payload["category"],
-                    collector=unpack_collector(payload["collector"]),
-                    counters=payload["counters"],
-                    perf=payload["perf"]))
     finally:
         if telemetry is not None:
             stop.set()
             drainer.join(timeout=10.0)
             manager.shutdown()
-    return artifacts
+    return payloads
+
+
+def run_tasks(tasks: list[MachineTask], n_workers: int,
+              telemetry: Optional[StudyTelemetry] = None
+              ) -> list[MachineArtifact]:
+    """Execute machine tasks on a process pool; artifacts in index order."""
+    payloads = run_pool(_simulate_task, tasks, n_workers, telemetry,
+                        describe=lambda task: task.machine_name)
+    return [MachineArtifact(
+        index=payload["index"],
+        name=payload["name"],
+        category=payload["category"],
+        collector=unpack_collector(payload["collector"]),
+        counters=payload["counters"],
+        perf=payload["perf"]) for payload in payloads]
 
 
 def run_study_parallel(config: StudyConfig,

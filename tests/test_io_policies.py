@@ -54,18 +54,17 @@ class TestFastIoFallback:
     def test_decline_produces_irp_retry(self, machine, process,
                                         make_file_on):
         # Force a 100% FastIO decline rate and confirm the retry.
-        import repro.nt.fs.driver as driver_module
         make_file_on(r"\f.bin", 65536)
         w = machine.win32
         _s, h = w.create_file(process, r"C:\f.bin")
         w.read_file(process, h, 4096)
-        original = driver_module._FASTIO_DECLINE_PROBABILITY
-        driver_module._FASTIO_DECLINE_PROBABILITY = 1.0
+        original = machine.config.fastio_decline_probability
+        machine.config.fastio_decline_probability = 1.0
         try:
             status, got = w.read_file(process, h, 4096)
             assert status == NtStatus.SUCCESS and got == 4096
         finally:
-            driver_module._FASTIO_DECLINE_PROBABILITY = original
+            machine.config.fastio_decline_probability = original
         w.close_handle(process, h)
         reads = [r for r in records_of(machine)
                  if not r.is_paging
