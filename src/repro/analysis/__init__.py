@@ -17,6 +17,8 @@ processes and machines.  The per-section analyses consume these tables:
 * :mod:`repro.analysis.content` — §5's file-system content and churn.
 * :mod:`repro.analysis.heavytail` — §7's distribution analyses
   (figures 8–10).
+* :mod:`repro.analysis.attribution` — §9–10's induced-I/O breakdown and
+  critical-path decomposition, exact via causal spans.
 * :mod:`repro.analysis.report` — the table-1 observation summary.
 """
 
@@ -53,6 +55,13 @@ from repro.analysis.fidelity import (
     TraceStats,
     fidelity_report,
     machine_fidelity,
+)
+from repro.analysis.attribution import (
+    AttributionTable,
+    CriticalPathTable,
+    attribution_table,
+    critical_path_table,
+    reconcile_attribution,
 )
 
 __all__ = [
@@ -97,4 +106,9 @@ __all__ = [
     "TraceStats",
     "fidelity_report",
     "machine_fidelity",
+    "AttributionTable",
+    "CriticalPathTable",
+    "attribution_table",
+    "critical_path_table",
+    "reconcile_attribution",
 ]

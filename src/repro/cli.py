@@ -3,10 +3,13 @@
 ::
 
     python -m repro run    --machines 6 --seconds 120 --out traces/ --perf
+    python -m repro run    --machines 6 --seconds 120 --out traces/ --spans
     python -m repro report traces/
     python -m repro figures traces/ --out figure-data/
     python -m repro perf   --machines 2 --seconds 30
     python -m repro replay --traces traces/ --mode closed
+    python -m repro spans  export traces/ --out chrome-trace.json
+    python -m repro spans  attribution traces/
 
 ``run`` simulates a trace collection and archives it; ``report`` prints
 the paper's tables from an archive (or runs a fresh study when no archive
@@ -14,7 +17,9 @@ is given); ``figures`` exports every figure's data series as CSV; ``perf``
 prints the performance-monitor counter table (from a dumped ``perf.json``
 or a fresh study) and can emit a wall-clock pipeline baseline for CI;
 ``replay`` re-drives an archived study through fresh machines and prints
-the first- vs second-generation fidelity report.
+the first- vs second-generation fidelity report; ``spans`` works on the
+causal span logs of a ``--spans`` archive — Chrome trace-event export,
+the induced-I/O attribution tables, and the tracing-overhead benchmark.
 """
 
 from __future__ import annotations
@@ -66,6 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--perf", action="store_true",
                      help="print the perfmon counter table and dump"
                           " perf.json next to the archive")
+    run.add_argument("--spans", action="store_true",
+                     help="record causal spans (ETW-style activity"
+                          " tracing); archives become format v3")
     run.add_argument("--progress", action="store_true",
                      help="emit per-machine telemetry lines to stderr")
     _add_workers_option(run)
@@ -124,6 +132,38 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--progress", action="store_true",
                         help="emit per-machine telemetry lines to stderr")
     _add_workers_option(replay)
+
+    spans = sub.add_parser(
+        "spans", help="causal span tooling (export, attribution, bench)")
+    spans_sub = spans.add_subparsers(dest="spans_command", required=True)
+
+    export = spans_sub.add_parser(
+        "export", help="export span logs as Chrome trace-event JSON")
+    export.add_argument("traces", type=Path,
+                        help=".nttrace archive directory recorded with"
+                             " --spans")
+    export.add_argument("--out", type=Path,
+                        default=Path("chrome-trace.json"),
+                        help="output JSON path (open in Perfetto or"
+                             " chrome://tracing)")
+
+    attribution = spans_sub.add_parser(
+        "attribution", help="print the induced-I/O attribution tables")
+    attribution.add_argument("traces", type=Path,
+                             help=".nttrace archive directory recorded"
+                                  " with --spans")
+    attribution.add_argument("--json", type=Path, default=None,
+                             help="also write the tables as JSON here")
+
+    bench = spans_sub.add_parser(
+        "bench", help="measure span-tracing overhead (spans off vs on)")
+    bench.add_argument("--machines", type=int, default=2)
+    bench.add_argument("--seconds", type=float, default=30.0)
+    bench.add_argument("--seed", type=int, default=1998)
+    bench.add_argument("--scale", type=float, default=0.12)
+    bench.add_argument("--json", type=Path, default=None,
+                       help="write the overhead baseline here (the CI"
+                            " BENCH_spans baseline)")
     return parser
 
 
@@ -171,9 +211,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_study(StudyConfig(
         n_machines=args.machines, duration_seconds=args.seconds,
         seed=args.seed, content_scale=args.scale,
-        workers=args.workers), telemetry=telemetry)
+        workers=args.workers, spans_enabled=args.spans),
+        telemetry=telemetry)
     print(f"collected {result.total_records} records from "
           f"{len(result.collectors)} machines")
+    if args.spans:
+        n_spans = sum(len(c.span_records) for c in result.collectors)
+        print(f"recorded {n_spans} causal spans")
     if args.out is not None:
         paths = save_study(result.collectors, args.out)
         total = sum(p.stat().st_size for p in paths)
@@ -221,11 +265,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_archived_perf(traces: Path) -> None:
+def _print_archived_perf(traces: Path, strict: bool = False) -> None:
+    """Print the counter table of an archive's perf.json.
+
+    ``strict`` (the ``repro perf TRACES`` form, where the table is the
+    whole point) exits non-zero naming the missing path; the soft form
+    (``report --perf``, where the table is a bonus) warns and returns.
+    """
     from repro.nt.perf import load_perf_json
 
+    if strict and not traces.is_dir():
+        raise SystemExit(
+            f"trace archive directory {traces} does not exist")
     perf_path = traces / "perf.json"
     if not perf_path.exists():
+        if strict:
+            raise SystemExit(
+                f"no perf.json in {traces} — re-run "
+                f"`repro run --perf --out {traces}` to produce one")
         print(f"\nno perf.json in {traces} — re-run "
               f"`repro run --perf --out {traces}` to produce one",
               file=sys.stderr)
@@ -257,7 +314,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from repro.analysis.report import summarize_observations
 
     if args.traces is not None:
-        _print_archived_perf(args.traces)
+        _print_archived_perf(args.traces, strict=True)
         return 0
 
     telemetry = StudyTelemetry()
@@ -337,11 +394,123 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_span_study(traces: Path):
+    """Load an archive and require it to carry span logs."""
+    from repro.nt.tracing.store import load_study
+
+    try:
+        collectors = load_study(traces)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    if not any(c.span_records for c in collectors):
+        raise SystemExit(
+            f"no span records in {traces} — re-run "
+            f"`repro run --spans --out {traces}` to record them")
+    return collectors
+
+
+def cmd_spans_export(args: argparse.Namespace) -> int:
+    from repro.nt.tracing.spans import write_chrome_trace
+
+    collectors = _load_span_study(args.traces)
+    n_spans = sum(len(c.span_records) for c in collectors)
+    nbytes = write_chrome_trace(collectors, args.out)
+    print(f"exported {n_spans} spans from {len(collectors)} machines to "
+          f"{args.out} ({nbytes / 1024:.0f} KB)")
+    return 0
+
+
+def cmd_spans_attribution(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.attribution import (attribution_table,
+                                            critical_path_table,
+                                            reconcile_attribution)
+
+    collectors = _load_span_study(args.traces)
+    table = attribution_table(collectors)
+    paths = critical_path_table(collectors)
+    print(table.format())
+    print()
+    print(paths.format())
+    status = 0
+    for collector in collectors:
+        problems = reconcile_attribution(collector)
+        if problems:
+            status = 1
+            for kind, sides in problems.items():
+                print(f"RECONCILIATION MISMATCH {collector.machine_name} "
+                      f"{kind}: records {sides['records']} != spans "
+                      f"{sides['spans']}", file=sys.stderr)
+    if status == 0:
+        print(f"\nreconciliation: spans match trace records exactly on "
+              f"all {len(collectors)} machines")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(
+            {"attribution": table.to_dict(),
+             "critical_path": paths.to_dict()},
+            sort_keys=True, indent=1) + "\n")
+        print(f"wrote attribution tables to {args.json}")
+    return status
+
+
+def cmd_spans_bench(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro import StudyConfig, run_study
+
+    def _timed(spans_enabled: bool):
+        config = StudyConfig(
+            n_machines=args.machines, duration_seconds=args.seconds,
+            seed=args.seed, content_scale=args.scale,
+            spans_enabled=spans_enabled)
+        begin = time.perf_counter()
+        result = run_study(config)
+        return time.perf_counter() - begin, result
+
+    base_seconds, base = _timed(False)
+    spans_seconds, spanned = _timed(True)
+    n_spans = sum(len(c.span_records) for c in spanned.collectors)
+    overhead = (spans_seconds - base_seconds) / base_seconds \
+        if base_seconds else float("nan")
+    print(f"spans off: {base_seconds:8.3f} s   "
+          f"({base.total_records} records)")
+    print(f"spans on:  {spans_seconds:8.3f} s   "
+          f"({n_spans} spans)")
+    print(f"overhead:  {overhead:+.1%}")
+    if args.json is not None:
+        payload = {
+            "format": "nt-span-bench-1",
+            "machines": args.machines,
+            "seconds": args.seconds,
+            "seed": args.seed,
+            "records": base.total_records,
+            "spans": n_spans,
+            "base_seconds": base_seconds,
+            "spans_seconds": spans_seconds,
+            "overhead_fraction": overhead,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        print(f"wrote span-overhead baseline to {args.json}")
+    return 0
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    handlers = {"export": cmd_spans_export,
+                "attribution": cmd_spans_attribution,
+                "bench": cmd_spans_bench}
+    return handlers[args.spans_command](args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "report": cmd_report,
                 "figures": cmd_figures, "perf": cmd_perf,
-                "replay": cmd_replay}
+                "replay": cmd_replay, "spans": cmd_spans}
     return handlers[args.command](args)
 
 

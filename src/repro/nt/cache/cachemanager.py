@@ -436,9 +436,15 @@ class CacheManager:
         if not wanted:
             return
         # Asynchronous: the application is not waiting for this data.
+        # The span scope re-attributes the induced paging I/O from the
+        # requesting read to the read-ahead predictor.
+        spans = self.machine.spans
+        span = spans.begin_read_ahead() if spans.enabled else None
         self.machine.mm.page_in(cmap, wanted[0] * PAGE_SIZE,
                                 (wanted[-1] - wanted[0] + 1) * PAGE_SIZE,
                                 background=True)
+        if span is not None:
+            spans.end(span)
         self._mark_resident(cmap, wanted[0] * PAGE_SIZE,
                             (wanted[-1] - wanted[0] + 1) * PAGE_SIZE)
         self.machine.counters["cc.read_aheads"] += 1

@@ -97,6 +97,11 @@ class LazyWriter:
             if now - enqueued_at < self.CLOSE_FLUSH_AGE_TICKS:
                 still_waiting.append(entry)
                 continue
+            # Runs from the scan timer with no open span, so this scope
+            # opens as a LAZY_WRITER-caused root: the flush, SetEndOfFile
+            # and close all attribute to write-behind, not the user.
+            spans = machine.spans
+            span = spans.begin_lazy_writer() if spans.enabled else None
             deleted = cmap.node.parent is None  # unlinked while we waited
             if not deleted:
                 machine.cc.flush_file(cmap.node, background=True)
@@ -106,6 +111,8 @@ class LazyWriter:
             cmap.written_pending_eof = False
             cmap.pending_close = False
             machine.io.dereference_and_maybe_close(fo, process_id)
+            if span is not None:
+                spans.end(span)
             machine.counters["lw.deferred_closes"] += 1
             if self._perf.enabled:
                 self._perf_deferred.add(1)
@@ -113,6 +120,8 @@ class LazyWriter:
 
     def _write_portion(self, cmap: SharedCacheMap) -> None:
         machine = self.machine
+        spans = machine.spans
+        span = spans.begin_lazy_writer() if spans.enabled else None
         quota = max(1, len(cmap.dirty) // _DIRTY_FRACTION_PER_SCAN)
         written = 0
         for run_offset, run_length in cmap.dirty_runs():
@@ -132,6 +141,8 @@ class LazyWriter:
         if not cmap.dirty:
             machine.cc.dirty_maps.pop(cmap, None)
         machine.cc.shed_excess()
+        if span is not None:
+            spans.end(span)
         machine.counters["lw.pages_written"] += written
         if self._perf.enabled:
             self._perf_pages.add(written)

@@ -121,16 +121,31 @@ class IoManager:
             raise ValueError("IRP has no file object")
         top = self.stack_for(irp.file_object.volume)
         if background:
-            with self.machine.forked_clock():
-                return self._dispatch(irp, top)
+            return self._dispatch_background(irp, top)
         return self._dispatch(irp, top)
 
-    def _dispatch(self, irp: Irp, top: DeviceObject) -> NtStatus:
-        clock = self.machine.clock
+    def _dispatch_background(self, irp: Irp, top: DeviceObject) -> NtStatus:
+        """Dispatch on a forked clock (overlapped read-ahead/lazy-write).
+
+        The span the dispatch opens carries the BACKGROUND flag, so the
+        attribution analysis can separate overlapped device time from the
+        foreground critical path.
+        """
+        with self.machine.forked_clock():
+            return self._dispatch(irp, top, background=True)
+
+    def _dispatch(self, irp: Irp, top: DeviceObject,
+                  background: bool = False) -> NtStatus:
+        machine = self.machine
+        clock = machine.clock
+        spans = machine.spans
+        span = spans.begin_irp(irp, background) if spans.enabled else None
         irp.t_start = clock.now
-        self.machine.charge_cpu(_IRP_DISPATCH_MICROS)
+        machine.charge_cpu(_IRP_DISPATCH_MICROS)
         status = top.driver.dispatch(irp, top)
         irp.t_complete = clock.now
+        if span is not None:
+            spans.end(span, status)
         if self._perf.enabled:
             self._count_irp(irp)
         return status
@@ -143,9 +158,12 @@ class IoManager:
         if irp_like.file_object is None:
             raise ValueError("FastIO call has no file object")
         top = self.stack_for(irp_like.file_object.volume)
-        clock = self.machine.clock
+        machine = self.machine
+        clock = machine.clock
+        spans = machine.spans
+        span = spans.begin_fastio(op, irp_like) if spans.enabled else None
         irp_like.t_start = clock.now
-        self.machine.charge_cpu(_FASTIO_DISPATCH_MICROS)
+        machine.charge_cpu(_FASTIO_DISPATCH_MICROS)
         result = top.driver.fastio(op, irp_like, top)
         irp_like.t_complete = clock.now
         if result.handled:
@@ -153,8 +171,13 @@ class IoManager:
             irp_like.returned = result.returned
             if self._perf.enabled:
                 self._count_fastio(op, irp_like)
-        elif self._perf.enabled:
-            self._fastio_declined.add(1)
+        else:
+            if span is not None:
+                spans.mark_declined(span)
+            if self._perf.enabled:
+                self._fastio_declined.add(1)
+        if span is not None:
+            spans.end(span, result.status)
         return result
 
     # ------------------------------------------------------------------ #

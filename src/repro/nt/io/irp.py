@@ -112,6 +112,10 @@ class Irp:
         "process_id",
         "t_start",
         "t_complete",
+        # Causal span context (repro.nt.tracing.spans): the span this
+        # dispatch opened and the root activity it belongs to.
+        "span_id",
+        "activity_id",
         # IRP_MJ_CREATE parameters.
         "create_path",
         "create_disposition",
@@ -145,6 +149,8 @@ class Irp:
         self.process_id = process_id
         self.t_start = 0
         self.t_complete = 0
+        self.span_id = 0
+        self.activity_id = 0
         self.create_path: str = ""
         self.create_disposition = CreateDisposition.OPEN
         self.create_options = CreateOptions.NONE

@@ -155,6 +155,10 @@ class VmManager:
         if not background:
             flags |= IrpFlags.SYNCHRONOUS_PAGING_IO
         machine.charge_cpu(_FAULT_CPU_MICROS)
+        # Mm scope: user-initiated work reaching here becomes PAGING;
+        # read-ahead / lazy-writer callers keep their cause.
+        spans = machine.spans
+        span = spans.begin_paging() if spans.enabled else None
         status = NtStatus.SUCCESS
         chunk_offset = offset
         end = offset + length
@@ -170,6 +174,8 @@ class VmManager:
             if status.is_error:
                 break
             chunk_offset += chunk
+        if span is not None:
+            spans.end(span, status)
         key = "mm.paging_reads" if major == IrpMajor.READ else "mm.paging_writes"
         machine.counters[key] += 1
         if perf_on:

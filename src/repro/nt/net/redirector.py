@@ -85,7 +85,7 @@ class RedirectorDriver(FileSystemDriver):
         machine = self.io.machine
         perf_on = self._perf.enabled
         if irp.major in _WIRE_MAJORS:
-            machine.clock.advance(self.network.wire_ticks(0))
+            self._wire_advance(machine, 0)
             machine.counters["rdr.wire_requests"] += 1
             if perf_on:
                 self._perf_wire_requests.add(1)
@@ -95,7 +95,7 @@ class RedirectorDriver(FileSystemDriver):
                 fo is not None
                 and fo.has_flag(FileObjectFlags.NO_INTERMEDIATE_BUFFERING))
             if moves_data:
-                machine.clock.advance(self.network.wire_ticks(irp.length))
+                self._wire_advance(machine, irp.length)
                 machine.counters["rdr.wire_transfers"] += 1
                 if perf_on:
                     self._perf_wire_transfers.add(1)
@@ -103,6 +103,15 @@ class RedirectorDriver(FileSystemDriver):
             elif perf_on:
                 self._perf_cache_absorbed.add(1)
         return super().dispatch(irp, device)
+
+    def _wire_advance(self, machine, payload_bytes: int) -> None:
+        """Charge one server round trip, spanned so the wire time of a
+        request shows up as its own child in the causal trace."""
+        spans = machine.spans
+        span = spans.begin_wire(payload_bytes) if spans.enabled else None
+        machine.clock.advance(self.network.wire_ticks(payload_bytes))
+        if span is not None:
+            spans.end(span)
 
     def fastio(self, op: FastIoOp, irp_like: Irp,
                device: DeviceObject) -> FastIoResult:

@@ -32,6 +32,7 @@ from repro.nt.perf import PerfRegistry
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.driver import TraceFilterDriver
 from repro.nt.tracing.snapshot import take_snapshot
+from repro.nt.tracing.spans import SpanTracer
 from repro.nt.win32 import Win32Api
 
 _MB = 1024 * 1024
@@ -68,6 +69,10 @@ class MachineConfig:
     # quiesce it — write-behind traffic is injected from the source trace
     # instead of regenerated.
     lazy_writer_enabled: bool = True
+    # Causal span tracing (repro.nt.tracing.spans).  Off by default: a
+    # disabled tracer costs one attribute check per dispatch, and the
+    # trace store stays byte-identical to pre-span archives.
+    spans_enabled: bool = False
 
 
 class Process:
@@ -110,6 +115,10 @@ class Machine:
         self.counters: Counter = Counter()
         self.perf = PerfRegistry(config.name, enabled=config.perf_enabled)
         self.collector = TraceCollector(config.name)
+        # The span tracer must exist before the I/O manager: the mount
+        # IRPs issued during construction already dispatch through it.
+        self.spans = SpanTracer(self, self.collector,
+                                enabled=config.spans_enabled)
         self.io = IoManager(self)
         self.cc = CacheManager(
             self, int(config.memory_mb * _MB * config.cache_memory_fraction))

@@ -14,6 +14,18 @@ from repro.nt.tracing.buffers import TripleBuffer, BUFFER_CAPACITY
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.driver import TraceFilterDriver
 from repro.nt.tracing.snapshot import SnapshotRecord, take_snapshot
+from repro.nt.tracing.spans import (
+    SPAN_BACKGROUND,
+    SPAN_DECLINED,
+    SPAN_RECORDED,
+    SpanCause,
+    SpanLayer,
+    SpanRecord,
+    SpanTracer,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.nt.tracing.store import (
     STORE_FORMAT_VERSION,
     SUPPORTED_FORMAT_VERSIONS,
@@ -41,6 +53,16 @@ __all__ = [
     "TraceFilterDriver",
     "SnapshotRecord",
     "take_snapshot",
+    "SPAN_BACKGROUND",
+    "SPAN_DECLINED",
+    "SPAN_RECORDED",
+    "SpanCause",
+    "SpanLayer",
+    "SpanRecord",
+    "SpanTracer",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "STORE_FORMAT_VERSION",
     "SUPPORTED_FORMAT_VERSIONS",
     "iter_trace_records",

@@ -10,8 +10,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.nt.tracing.records import NameRecord, TraceRecord
 from repro.nt.tracing.snapshot import SnapshotRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nt.tracing.spans import SpanRecord
 
 
 class TraceCollector:
@@ -21,6 +26,9 @@ class TraceCollector:
         self.machine_name = machine_name
         self.records: list[TraceRecord] = []
         self.name_records: list[NameRecord] = []
+        # Causal span log (repro.nt.tracing.spans); empty unless the
+        # machine ran with spans enabled.
+        self.span_records: list["SpanRecord"] = []
         # pid -> process image name (the paper attributed requests to the
         # requesting process).
         self.process_names: dict[int, str] = {}
@@ -37,6 +45,10 @@ class TraceCollector:
     def receive_name(self, record: NameRecord) -> None:
         """Accept a file-object name record."""
         self.name_records.append(record)
+
+    def receive_span(self, record: "SpanRecord") -> None:
+        """Accept one finished causal span."""
+        self.span_records.append(record)
 
     def register_process(self, pid: int, name: str, interactive: bool) -> None:
         """Record the identity of a traced process."""

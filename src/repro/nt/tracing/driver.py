@@ -62,7 +62,11 @@ class TraceFilterDriver(Driver):
         if irp.major == IrpMajor.CREATE or irp.minor == IrpMinor.MOUNT_VOLUME:
             self._ensure_name_record(irp)
         status = self.forward_irp(irp, device)
-        self.buffer.append(self._record_for(kind_for_irp(irp), irp))
+        record = self._record_for(kind_for_irp(irp), irp)
+        self.buffer.append(record)
+        spans = self.io.machine.spans
+        if spans.enabled:
+            spans.mark_recorded(record)
         if self._perf.enabled:
             self._perf_records.add(1)
         return status
@@ -76,7 +80,11 @@ class TraceFilterDriver(Driver):
             # logs the bytes actually transferred.
             irp_like.status = result.status
             irp_like.returned = result.returned
-            self.buffer.append(self._record_for(kind_for_fastio(op), irp_like))
+            record = self._record_for(kind_for_fastio(op), irp_like)
+            self.buffer.append(record)
+            spans = self.io.machine.spans
+            if spans.enabled:
+                spans.mark_recorded(record)
             if self._perf.enabled:
                 self._perf_records.add(1)
         elif not self.enabled and result.handled and self._perf.enabled:

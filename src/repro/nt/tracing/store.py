@@ -20,16 +20,21 @@ from typing import BinaryIO, Union
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.records import NameRecord, TraceRecord
 from repro.nt.tracing.snapshot import SnapshotRecord
+from repro.nt.tracing.spans import SPAN_STRUCT, SpanRecord
 
 # Header layout: 7-byte magic prefix, one ASCII-digit format version byte,
 # then a little-endian u64 payload length.  The original format spelled the
 # whole 8 bytes "NTTRACE1"; treating the trailing digit as a version byte
-# keeps every v1 archive readable while giving the replay engine room to
-# evolve the record format (v2 is written today; the payload is unchanged).
+# keeps every v1 archive readable while giving the format room to evolve:
+# v2 added the version byte itself (payload unchanged), v3 appends the
+# causal span log (repro.nt.tracing.spans) after the snapshot section.
+# Writers emit v3 only when the collector actually holds spans, so a study
+# run without ``--spans`` still produces byte-identical v2 archives.
 _MAGIC_PREFIX = b"NTTRACE"
 _HEADER_LEN = len(_MAGIC_PREFIX) + 1 + 8
-STORE_FORMAT_VERSION = 2
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+STORE_FORMAT_VERSION = 3
+_SPANLESS_FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
 _RECORD = struct.Struct("<15q")
 _SNAP = struct.Struct("<?5q3q")  # is_dir + size/time fields + counts/depth
 
@@ -87,6 +92,16 @@ def pack_collector(collector: TraceCollector) -> bytes:
                 0))
             _write_str(buf, s.path)
             _write_str(buf, s.extension)
+    # Causal spans (format v3).  The section is *omitted* when the log is
+    # empty rather than written with a zero count, so a spans-disabled
+    # collector packs byte-for-byte like a v2 one — the differential
+    # guarantee the parallel transport and archive tests rely on.
+    if collector.span_records:
+        buf.write(struct.pack("<Q", len(collector.span_records)))
+        for s in collector.span_records:
+            buf.write(SPAN_STRUCT.pack(
+                s.span_id, s.parent_id, s.activity_id, s.layer, s.op,
+                s.cause, s.t_begin, s.t_end, s.nbytes, s.status, s.flags))
     return buf.getvalue()
 
 
@@ -127,14 +142,29 @@ def unpack_collector(raw: bytes) -> TraceCollector:
                 last_write_time=last_write, last_access_time=last_access,
                 n_files=n_files, n_subdirectories=n_subdirs))
         collector.receive_snapshot(label, when, records)
+    # Optional trailing span section: v1/v2 payloads end exactly after the
+    # snapshots, so any remaining bytes are the v3 span log.
+    tail = buf.read(8)
+    if tail:
+        (n_spans,) = struct.unpack("<Q", tail)
+        for _ in range(n_spans):
+            collector.span_records.append(
+                SpanRecord(*SPAN_STRUCT.unpack(buf.read(SPAN_STRUCT.size))))
     return collector
 
 
 def save_collector(collector: TraceCollector,
                    path: Union[str, Path]) -> int:
-    """Write a collector to disk; returns the compressed byte count."""
+    """Write a collector to disk; returns the compressed byte count.
+
+    A collector with spans writes the current format (v3); one without
+    writes v2, keeping spans-disabled archives byte-identical to the
+    pre-span writer's output.
+    """
+    version = (STORE_FORMAT_VERSION if collector.span_records
+               else _SPANLESS_FORMAT_VERSION)
     payload = zlib.compress(pack_collector(collector), level=6)
-    data = (_MAGIC_PREFIX + b"%d" % STORE_FORMAT_VERSION
+    data = (_MAGIC_PREFIX + b"%d" % version
             + struct.pack("<Q", len(payload)) + payload)
     Path(path).write_bytes(data)
     return len(data)

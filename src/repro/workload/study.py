@@ -77,6 +77,9 @@ class StudyConfig:
     # CPU core).  Results are byte-identical either way — workers decide
     # only *where* a machine simulates, never *what* it produces.
     workers: Optional[int] = None
+    # Causal span tracing (repro.nt.tracing.spans / CLI --spans).  Off by
+    # default: archives stay byte-identical to pre-span studies.
+    spans_enabled: bool = False
 
 
 @dataclass
@@ -368,7 +371,8 @@ def simulate_machine(config: StudyConfig, index: int, category_name: str,
     name = machine_name_for(index, category_name)
     seed = config.seed * 10_007 + index
     built = build_machine(name, category_name, seed,
-                          content_scale=config.content_scale)
+                          content_scale=config.content_scale,
+                          spans_enabled=config.spans_enabled)
     machine = built.machine
     if config.with_network_shares:
         share = Volume(label=f"srv-{built.username}",

@@ -104,7 +104,8 @@ class BuiltMachine:
 
 def build_machine(name: str, category_name: str, seed: int,
                   content_scale: float = 0.2,
-                  username: str | None = None) -> BuiltMachine:
+                  username: str | None = None,
+                  spans_enabled: bool = False) -> BuiltMachine:
     """Construct one traced machine of the given category with content."""
     category = CATEGORY_PROFILES[category_name]
     seeder = np.random.default_rng(seed)
@@ -120,6 +121,7 @@ def build_machine(name: str, category_name: str, seed: int,
         fs_type=(Volume.FAT if seeder.random() < category.fat_probability
                  else Volume.NTFS),
         seed=seed,
+        spans_enabled=spans_enabled,
     )
     machine = Machine(config)
     volume = Volume(

@@ -85,8 +85,9 @@ def collector_state(collector) -> tuple:
     """Complete comparable state of one collector.
 
     Everything a collector accumulates — trace records, name records,
-    process identities, snapshots — as plain comparable values.  Two
-    collectors with equal state are interchangeable for every analysis.
+    process identities, snapshots, causal spans — as plain comparable
+    values.  Two collectors with equal state are interchangeable for
+    every analysis.
     """
     return (
         collector.machine_name,
@@ -96,6 +97,7 @@ def collector_state(collector) -> tuple:
         dict(collector.process_interactive),
         [(label, when, list(records))
          for label, when, records in collector.snapshots],
+        list(collector.span_records),
     )
 
 

@@ -118,6 +118,33 @@ class TestRegistry:
         assert "io.ops" in text and "12,345" in text
         assert "io.lat" in text and "p99" in text
 
+    def test_all_three_metric_kinds_render_and_merge(self):
+        # Counters accumulate, gauges are last-value-wins per machine but
+        # sum across machines, histograms aggregate — one snapshot pair
+        # exercising every kind through both merge and render.
+        a, b = PerfRegistry("a"), PerfRegistry("b")
+        for reg, n in ((a, 2), (b, 5)):
+            reg.count("io.ops", n)
+            reg.gauge("replay.divergences").set(n)
+            reg.gauge("replay.divergences").set(n * 10)  # overwrites
+            reg.observe("io.lat", n * TICKS_PER_MICROSECOND)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["io.ops"] == 7
+        assert merged["gauges"]["replay.divergences"] == 70
+        assert merged["histograms"]["io.lat"]["count"] == 2
+        text = format_perf_table(merged, title="T")
+        assert "Counter" in text and "io.ops" in text
+        assert "Gauge" in text and "replay.divergences" in text and "70" in text
+        assert "Latency histogram" in text and "io.lat" in text
+
+    def test_untouched_gauge_omitted_from_snapshot(self):
+        reg = PerfRegistry("m")
+        reg.gauge("never.set")
+        reg.count("ops", 1)
+        snap = reg.snapshot()
+        assert "gauges" not in snap
+        assert format_perf_table(snap).count("Gauge") == 0
+
     def test_perf_json_roundtrip(self, tmp_path):
         reg = PerfRegistry("m00")
         reg.count("c", 9)

@@ -1,9 +1,10 @@
 """Trace store format versioning and corruption handling.
 
 The store header is ``NTTRACE`` + one ASCII version digit + a u64 LE
-compressed-payload length.  Writers emit version 2; readers accept 1 and
-2 (the payload encoding is identical — the version byte exists so future
-layout changes can be detected instead of misparsed).  Every corruption
+compressed-payload length.  Writers emit version 2 for span-less
+collectors (byte-identical to the pre-span writer) and version 3 when a
+causal span log is present; readers accept 1–3 (the v1/v2 payload
+encoding is identical — v3 appends the span section).  Every corruption
 mode must raise ``ValueError`` naming the offending file.
 """
 
@@ -16,6 +17,7 @@ import pytest
 
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.records import NameRecord, TraceRecord
+from repro.nt.tracing.spans import SPAN_RECORDED, SpanRecord
 from repro.nt.tracing.store import (STORE_FORMAT_VERSION,
                                     SUPPORTED_FORMAT_VERSIONS,
                                     iter_trace_records, load_collector,
@@ -42,6 +44,16 @@ def _collector(n_records: int = 5) -> TraceCollector:
     return collector
 
 
+def _spanned_collector() -> TraceCollector:
+    collector = _collector()
+    for i, rec in enumerate(collector.records, start=1):
+        collector.receive_span(SpanRecord(
+            span_id=i, parent_id=0, activity_id=i, layer=0, op=rec.kind,
+            cause=0, t_begin=rec.t_start, t_end=rec.t_end,
+            nbytes=rec.length, status=rec.status, flags=SPAN_RECORDED))
+    return collector
+
+
 def _v1_bytes(collector: TraceCollector) -> bytes:
     """A version-1 archive, byte-for-byte what the v1 writer produced."""
     payload = zlib.compress(pack_collector(collector), level=6)
@@ -49,15 +61,32 @@ def _v1_bytes(collector: TraceCollector) -> bytes:
 
 
 class TestVersioning:
-    def test_writes_current_version(self, tmp_path):
+    def test_spanless_collector_writes_version_2(self, tmp_path):
+        # The byte-identity guarantee: without spans, output matches the
+        # pre-span (v2) writer exactly, version byte included.
         path = tmp_path / "m.nttrace"
         save_collector(_collector(), path)
         raw = path.read_bytes()
-        assert raw.startswith(b"NTTRACE%d" % STORE_FORMAT_VERSION)
+        assert raw.startswith(b"NTTRACE2")
         version, machine_name, n_records = read_store_header(path)
-        assert version == STORE_FORMAT_VERSION == 2
+        assert version == 2
         assert machine_name == "m00-versioned"
         assert n_records == 5
+
+    def test_spanned_collector_writes_current_version(self, tmp_path):
+        path = tmp_path / "m.nttrace"
+        save_collector(_spanned_collector(), path)
+        raw = path.read_bytes()
+        assert raw.startswith(b"NTTRACE%d" % STORE_FORMAT_VERSION)
+        assert read_store_header(path)[0] == STORE_FORMAT_VERSION == 3
+
+    def test_v3_round_trips_span_log(self, tmp_path):
+        collector = _spanned_collector()
+        path = tmp_path / "m.nttrace"
+        save_collector(collector, path)
+        loaded = load_collector(path)
+        assert collector_state(loaded) == collector_state(collector)
+        assert loaded.span_records == collector.span_records
 
     def test_reads_version_1_archives(self, tmp_path):
         # Cross-version round-trip: a v1 file (pre-version-byte era,
