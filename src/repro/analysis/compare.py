@@ -11,7 +11,7 @@ differences; ``ks_distance`` compares a full distribution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np

@@ -12,8 +12,8 @@ from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.common.clock import TICKS_PER_MILLISECOND, TICKS_PER_SECOND
-from repro.stats.descriptive import cdf_points, cdf_quantile
+from repro.common.clock import TICKS_PER_SECOND
+from repro.stats.descriptive import cdf_quantile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.warehouse import TraceWarehouse

@@ -20,9 +20,12 @@ from typing import Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.common.flags import CreateOptions, FileAttributes
-from repro.nt.cache.readahead import fuzzy_sequential
-from repro.nt.io.irp import SetInformationClass
-from repro.nt.tracing.records import TraceEventKind
+from repro.common.sequential import fuzzy_sequential
+from repro.nt.tracing.records import (
+    CreateResult,
+    SetInformationClass,
+    TraceEventKind,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.warehouse import TraceWarehouse
@@ -166,12 +169,10 @@ class Instance:
 
     @property
     def was_created(self) -> bool:
-        from repro.nt.fs.driver import CreateResult
         return self.create_result == int(CreateResult.CREATED)
 
     @property
     def was_overwrite(self) -> bool:
-        from repro.nt.fs.driver import CreateResult
         return self.create_result in (int(CreateResult.OVERWRITTEN),
                                       int(CreateResult.SUPERSEDED))
 

@@ -16,8 +16,7 @@ from typing import Optional, Sequence, TYPE_CHECKING
 import numpy as np
 
 from repro.nt.tracing.collector import TraceCollector
-from repro.nt.tracing.records import TraceEventKind
-from repro.nt.fs.path import extension_of
+from repro.nt.tracing.records import TraceEventKind, extension_of
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.sessions import Instance

@@ -10,6 +10,7 @@
     python -m repro replay --traces traces/ --mode closed
     python -m repro spans  export traces/ --out chrome-trace.json
     python -m repro spans  attribution traces/
+    python -m repro verify src/repro
 
 ``run`` simulates a trace collection and archives it; ``report`` prints
 the paper's tables from an archive (or runs a fresh study when no archive
@@ -19,7 +20,10 @@ or a fresh study) and can emit a wall-clock pipeline baseline for CI;
 ``replay`` re-drives an archived study through fresh machines and prints
 the first- vs second-generation fidelity report; ``spans`` works on the
 causal span logs of a ``--spans`` archive — Chrome trace-event export,
-the induced-I/O attribution tables, and the tracing-overhead benchmark.
+the induced-I/O attribution tables, and the tracing-overhead benchmark;
+``verify`` runs the Driver-Verifier-style static analysis over the
+source tree and fails on any finding the committed baseline does not
+justify.
 """
 
 from __future__ import annotations
@@ -74,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--spans", action="store_true",
                      help="record causal spans (ETW-style activity"
                           " tracing); archives become format v3")
+    run.add_argument("--verifier", action="store_true",
+                     help="run with the runtime Driver Verifier: assert"
+                          " IRP protocol invariants on every dispatch"
+                          " (archives are unaffected)")
     run.add_argument("--progress", action="store_true",
                      help="emit per-machine telemetry lines to stderr")
     _add_workers_option(run)
@@ -164,6 +172,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", type=Path, default=None,
                        help="write the overhead baseline here (the CI"
                             " BENCH_spans baseline)")
+
+    verify = sub.add_parser(
+        "verify", help="run the Driver-Verifier-style static analysis")
+    verify.add_argument("paths", type=Path, nargs="*",
+                        default=[Path("src/repro")],
+                        help="files or directories to verify"
+                             " (default: src/repro)")
+    verify.add_argument("--baseline", type=Path,
+                        default=Path("verifier_baseline.toml"),
+                        help="suppression baseline (every entry needs a"
+                             " justification; stale entries fail the run)")
+    verify.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
     return parser
 
 
@@ -211,7 +232,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_study(StudyConfig(
         n_machines=args.machines, duration_seconds=args.seconds,
         seed=args.seed, content_scale=args.scale,
-        workers=args.workers, spans_enabled=args.spans),
+        workers=args.workers, spans_enabled=args.spans,
+        verifier_enabled=args.verifier),
         telemetry=telemetry)
     print(f"collected {result.total_records} records from "
           f"{len(result.collectors)} machines")
@@ -506,11 +528,45 @@ def cmd_spans(args: argparse.Namespace) -> int:
     return handlers[args.spans_command](args)
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verifier import (
+        RULE_CATALOG,
+        BaselineError,
+        load_baseline,
+        verify_paths,
+    )
+
+    if args.rules:
+        for rule_id, description in RULE_CATALOG:
+            print(f"{rule_id}  {description}")
+        return 0
+    try:
+        suppressions = load_baseline(args.baseline)
+    except BaselineError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        report = verify_paths(args.paths, suppressions)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    for finding in report.findings:
+        print(finding.format())
+    for entry in report.stale:
+        print(f"{args.baseline}: stale suppression ({entry.rule} "
+              f"{entry.path} match={entry.match!r}) no longer matches "
+              "anything — remove it", file=sys.stderr)
+    print(f"verified {report.n_files} files: "
+          f"{len(report.findings)} finding(s), "
+          f"{len(report.suppressed)} suppressed by baseline",
+          file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "report": cmd_report,
                 "figures": cmd_figures, "perf": cmd_perf,
-                "replay": cmd_replay, "spans": cmd_spans}
+                "replay": cmd_replay, "spans": cmd_spans,
+                "verify": cmd_verify}
     return handlers[args.command](args)
 
 

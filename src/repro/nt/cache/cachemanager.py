@@ -70,10 +70,16 @@ class SharedCacheMap:
 
     __slots__ = ("node", "owners", "paging_fo", "pages", "dirty", "ra_pages",
                  "read_ahead_granularity", "written_pending_eof",
-                 "pending_close")
+                 "pending_close", "map_id")
 
-    def __init__(self, node: FileNode, granularity: int) -> None:
+    def __init__(self, node: FileNode, granularity: int,
+                 map_id: int = 0) -> None:
         self.node = node
+        # Sequential per-machine id, allocated by the cache manager.  Used
+        # as the map's key in the page LRU: keying by id(self) would make
+        # the key depend on process memory layout, and determinism demands
+        # that nothing observable derives from object identity.
+        self.map_id = map_id
         # File objects that currently have caching initialised, by fo_id.
         self.owners: dict[int, FileObject] = {}
         # The file object the VM manager uses for paging I/O on this file.
@@ -129,8 +135,10 @@ class CacheManager:
         self._perf_ra_consumed = perf.counter("cc.readahead.pages_consumed")
         self._perf_flush_pages = perf.counter("cc.flush.pages")
         self._perf_evicted = perf.counter("cc.pages_evicted")
-        # LRU over resident pages: (id(map), page) -> map.
+        # LRU over resident pages: (map_id, page) -> map.
         self._lru: "OrderedDict[tuple[int, int], SharedCacheMap]" = OrderedDict()
+        # Allocator for SharedCacheMap.map_id (1-based, never reused).
+        self._next_map_id = 1
         # Maps with dirty pages, for the lazy writer's scans.  A dict used
         # as an insertion-ordered set: SharedCacheMap hashes by identity,
         # so a real set would iterate in memory-address order and the lazy
@@ -156,7 +164,8 @@ class CacheManager:
         if cmap is None:
             granularity = (BOOSTED_READ_AHEAD if node.size > PAGE_SIZE
                            else DEFAULT_READ_AHEAD)
-            cmap = SharedCacheMap(node, granularity)
+            cmap = SharedCacheMap(node, granularity, map_id=self._next_map_id)
+            self._next_map_id += 1
             node.cache_map = cmap
         if fo.fo_id not in cmap.owners:
             cmap.owners[fo.fo_id] = fo
@@ -196,8 +205,8 @@ class CacheManager:
                 # Temporary or delete-pending file: unwritten data is
                 # discarded rather than flushed (§6.3's persistency saving).
                 machine.counters["cc.dirty_discarded_on_cleanup"] += len(cmap.dirty)
-                for page in cmap.dirty:
-                    self._lru.pop((id(cmap), page), None)
+                for page in sorted(cmap.dirty):
+                    self._lru.pop((cmap.map_id, page), None)
                     cmap.pages.discard(page)
                 cmap.dirty.clear()
                 self.dirty_maps.pop(cmap, None)
@@ -311,8 +320,8 @@ class CacheManager:
         for page in pages:
             cmap.pages.add(page)
             cmap.dirty.add(page)
-            self._lru[(id(cmap), page)] = cmap
-            self._lru.move_to_end((id(cmap), page))
+            self._lru[(cmap.map_id, page)] = cmap
+            self._lru.move_to_end((cmap.map_id, page))
         self._evict_if_needed()
         node.valid_data_length = max(node.valid_data_length, offset + length)
         cmap.written_pending_eof = True
@@ -377,7 +386,7 @@ class CacheManager:
         if cmap is None:
             return 0
         first_gone = self._page_ceil(new_size) // PAGE_SIZE
-        doomed = [p for p in cmap.pages if p >= first_gone]
+        doomed = [p for p in sorted(cmap.pages) if p >= first_gone]
         dirty_dropped = 0
         for page in doomed:
             cmap.pages.discard(page)
@@ -385,7 +394,7 @@ class CacheManager:
             if page in cmap.dirty:
                 cmap.dirty.discard(page)
                 dirty_dropped += 1
-            self._lru.pop((id(cmap), page), None)
+            self._lru.pop((cmap.map_id, page), None)
         if dirty_dropped:
             self.machine.counters["cc.dirty_purged_on_truncate"] += dirty_dropped
         if not cmap.dirty:
@@ -398,8 +407,8 @@ class CacheManager:
         if cmap is None:
             return 0
         dirty_dropped = len(cmap.dirty)
-        for page in cmap.pages:
-            self._lru.pop((id(cmap), page), None)
+        for page in sorted(cmap.pages):
+            self._lru.pop((cmap.map_id, page), None)
         cmap.pages.clear()
         cmap.dirty.clear()
         cmap.ra_pages.clear()
@@ -420,8 +429,8 @@ class CacheManager:
                        length: int) -> None:
         for page in page_span(offset, length):
             cmap.pages.add(page)
-            self._lru[(id(cmap), page)] = cmap
-            self._lru.move_to_end((id(cmap), page))
+            self._lru[(cmap.map_id, page)] = cmap
+            self._lru.move_to_end((cmap.map_id, page))
         self._evict_if_needed()
 
     def _issue_read_ahead(self, cmap: SharedCacheMap, fo: FileObject,

@@ -8,18 +8,13 @@ lowest 7 bits of the offsets, allowing small gaps in the sequence.
 
 from __future__ import annotations
 
-# The cache manager masks the lowest 7 bits when comparing offsets, so a
-# read starting within 128 bytes of the previous end still counts as
-# sequential (§9.1).
-SEQUENTIAL_FUZZ_MASK = ~0x7F
+# The masked comparison is shared with the analysis layer, so it lives in
+# repro.common; re-exported here because it is Cc policy first.
+from repro.common.sequential import SEQUENTIAL_FUZZ_MASK as SEQUENTIAL_FUZZ_MASK
+from repro.common.sequential import fuzzy_sequential as fuzzy_sequential
 
 # Read-ahead fires on the 3rd request of a sequential run (§9.1).
 SEQUENTIAL_RUN_TRIGGER = 3
-
-
-def fuzzy_sequential(previous_end: int, offset: int) -> bool:
-    """True when ``offset`` continues ``previous_end`` under the 7-bit mask."""
-    return (offset & SEQUENTIAL_FUZZ_MASK) == (previous_end & SEQUENTIAL_FUZZ_MASK)
 
 
 class ReadAheadPredictor:

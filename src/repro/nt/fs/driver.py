@@ -11,9 +11,7 @@ followed by a run of FastIO calls.
 from __future__ import annotations
 
 import enum
-from typing import Optional, TYPE_CHECKING
 
-from repro.common.clock import ticks_from_micros
 from repro.common.flags import (
     CreateDisposition,
     CreateOptions,
@@ -31,12 +29,7 @@ from repro.nt.io.irp import (
     Irp,
     IrpMajor,
     IrpMinor,
-    QueryInformationClass,
-    SetInformationClass,
-)
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.nt.io.iomanager import IoManager
+    SetInformationClass)
 
 
 class CreateResult(enum.IntEnum):

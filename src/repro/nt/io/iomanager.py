@@ -15,9 +15,8 @@ like the VM manager — flow through here (§3.2).  The manager:
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
-from repro.common.clock import SimClock, ticks_from_micros
 from repro.common.flags import FileObjectFlags, IrpFlags
 from repro.common.status import NtStatus
 from repro.nt.fs.volume import Volume
@@ -139,11 +138,16 @@ class IoManager:
         machine = self.machine
         clock = machine.clock
         spans = machine.spans
+        verifier = machine.verifier
         span = spans.begin_irp(irp, background) if spans.enabled else None
+        if verifier.enabled:
+            verifier.before_dispatch(irp)
         irp.t_start = clock.now
         machine.charge_cpu(_IRP_DISPATCH_MICROS)
         status = top.driver.dispatch(irp, top)
         irp.t_complete = clock.now
+        if verifier.enabled:
+            verifier.after_dispatch(irp, status)
         if span is not None:
             spans.end(span, status)
         if self._perf.enabled:
@@ -166,6 +170,8 @@ class IoManager:
         machine.charge_cpu(_FASTIO_DISPATCH_MICROS)
         result = top.driver.fastio(op, irp_like, top)
         irp_like.t_complete = clock.now
+        if machine.verifier.enabled:
+            machine.verifier.after_fastio(op, irp_like, result)
         if result.handled:
             irp_like.status = result.status
             irp_like.returned = result.returned

@@ -131,6 +131,12 @@ class Irp:
         "set_times",
         "lock_offset",
         "lock_length",
+        # Driver-Verifier bookkeeping (repro.nt.io.verifier): how many
+        # times complete() ran and how many times the I/O manager
+        # dispatched this packet.  Maintained unconditionally — two int
+        # increments — so enabling the verifier cannot change behaviour.
+        "n_completions",
+        "n_dispatches",
     )
 
     def __init__(self, major: IrpMajor, file_object: Optional["FileObject"],
@@ -167,6 +173,8 @@ class Irp:
         self.set_times: Optional[tuple] = None
         self.lock_offset: int = 0
         self.lock_length: int = 0
+        self.n_completions = 0
+        self.n_dispatches = 0
 
     @property
     def is_paging_io(self) -> bool:
@@ -175,6 +183,7 @@ class Irp:
 
     def complete(self, status: NtStatus, returned: int = 0) -> NtStatus:
         """Mark the packet completed (the FS driver's job)."""
+        self.n_completions += 1
         self.status = status
         self.returned = returned
         return status

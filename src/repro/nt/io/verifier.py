@@ -1,0 +1,112 @@
+"""Runtime Driver-Verifier mode.
+
+NT's Driver Verifier machine-checks the IRP protocol against live
+traffic; this is the simulator's equivalent, proving the static P-rules
+(:mod:`repro.verifier.rules_protocol`) against every packet actually
+dispatched.  :class:`DriverVerifier` hangs off the machine and is
+consulted by :meth:`IoManager._dispatch`/:meth:`IoManager.try_fastio`
+around every request:
+
+* **single completion** — a packet leaves the stack completed exactly
+  once (``Irp.complete`` counts invocations unconditionally; the
+  counter is a plain int increment and never reaches the archive);
+* **no re-dispatch** — a packet is never sent through the I/O manager
+  twice, and never after it has been completed;
+* **paging-IO invariants** — packets flagged ``PAGING_IO``/
+  ``SYNCHRONOUS_PAGING_IO`` can only be READ or WRITE (only the VM
+  manager mints them) and must complete synchronously (never left
+  PENDING);
+* **FastIO discipline** — a handled FastIO call reports a real status
+  (not PENDING) through the result structure and must not have
+  completed the parameter block as if it were an IRP.
+
+Off by default (``MachineConfig.verifier_enabled``); when disabled the
+cost is one attribute check per dispatch — the same pattern as spans
+and perf — and a verified run produces a byte-identical archive to an
+unverified one.  A violation raises :class:`VerifierError` immediately
+(bugcheck semantics: the run is wrong, there is nothing to salvage).
+"""
+
+from __future__ import annotations
+
+from repro.common.status import NtStatus
+from repro.nt.io.fastio import FastIoOp, FastIoResult
+from repro.nt.io.irp import Irp, IrpMajor
+
+_PAGING_MAJORS = (IrpMajor.READ, IrpMajor.WRITE)
+
+
+class VerifierError(AssertionError):
+    """An IRP protocol violation caught against live traffic."""
+
+
+class DriverVerifier:
+    """Per-machine runtime protocol checker (IO_VERIFIER equivalent)."""
+
+    __slots__ = ("enabled", "irps_checked", "fastio_checked")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.irps_checked = 0
+        self.fastio_checked = 0
+
+    # ------------------------------------------------------------------ #
+
+    def before_dispatch(self, irp: Irp) -> None:
+        """Invariants at the top of the stack, before any driver runs."""
+        if irp.n_dispatches:
+            raise VerifierError(
+                f"re-dispatch of an already-dispatched packet: {irp!r} "
+                f"(dispatched {irp.n_dispatches} time(s) before)")
+        if irp.n_completions:
+            raise VerifierError(
+                f"dispatch of an already-completed packet: {irp!r} "
+                f"(completed {irp.n_completions} time(s))")
+        if irp.status is not NtStatus.PENDING:
+            raise VerifierError(
+                f"packet entered the stack with status already set: {irp!r}")
+        if irp.is_paging_io and irp.major not in _PAGING_MAJORS:
+            raise VerifierError(
+                f"paging-IO flags on a {irp.major.name} packet: {irp!r} "
+                "(only the VM manager mints paging IRPs, and only for "
+                "READ/WRITE)")
+        irp.n_dispatches += 1
+
+    def after_dispatch(self, irp: Irp, status: NtStatus) -> None:
+        """Invariants after the stack returned ``status``."""
+        self.irps_checked += 1
+        if irp.n_completions == 0:
+            raise VerifierError(
+                f"packet left the stack without being completed: {irp!r}")
+        if irp.n_completions > 1:
+            raise VerifierError(
+                f"packet completed {irp.n_completions} times "
+                f"(use-after-complete): {irp!r}")
+        if status is not irp.status:
+            raise VerifierError(
+                f"dispatch returned {status.name} but the packet was "
+                f"completed with {irp.status.name}: {irp!r}")
+        if irp.is_paging_io and irp.status is NtStatus.PENDING:
+            raise VerifierError(
+                f"paging-IO packet left PENDING: {irp!r} (paging transfers "
+                "are synchronous at the device stack)")
+        if irp.t_complete < irp.t_start:
+            raise VerifierError(
+                f"completion timestamp precedes dispatch timestamp: {irp!r}")
+
+    def after_fastio(self, op: FastIoOp, irp_like: Irp,
+                     result: FastIoResult) -> None:
+        """Invariants after a FastIO attempt on the stack."""
+        self.fastio_checked += 1
+        if irp_like.n_completions:
+            raise VerifierError(
+                f"FastIO {op.name} completed its parameter block like an "
+                f"IRP: {irp_like!r} (outcomes travel in the FastIoResult)")
+        if result.handled and result.status is NtStatus.PENDING:
+            raise VerifierError(
+                f"FastIO {op.name} handled but left PENDING (the fast "
+                "path is synchronous by definition)")
+        if irp_like.t_complete < irp_like.t_start:
+            raise VerifierError(
+                f"FastIO {op.name} completion timestamp precedes its "
+                f"start: {irp_like!r}")

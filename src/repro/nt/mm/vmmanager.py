@@ -17,7 +17,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
-from repro.common.clock import ticks_from_micros
 from repro.common.flags import IrpFlags
 from repro.common.status import NtStatus
 from repro.nt.cache.cachemanager import PAGE_SIZE, SharedCacheMap

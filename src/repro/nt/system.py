@@ -11,8 +11,8 @@ from __future__ import annotations
 import heapq
 from collections import Counter
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.nt.fs.volume import Volume
 from repro.nt.io.driver import DeviceObject
 from repro.nt.io.iomanager import IoManager
 from repro.nt.io.irp import Irp, IrpMajor, IrpMinor
+from repro.nt.io.verifier import DriverVerifier
 from repro.nt.mm.vmmanager import VmManager
 from repro.nt.net.redirector import NetworkModel, RedirectorDriver, SWITCHED_100MBIT
 from repro.nt.perf import PerfRegistry
@@ -73,6 +74,11 @@ class MachineConfig:
     # disabled tracer costs one attribute check per dispatch, and the
     # trace store stays byte-identical to pre-span archives.
     spans_enabled: bool = False
+    # Runtime Driver-Verifier mode (repro.nt.io.verifier): assert
+    # single-completion, no re-dispatch, and paging-IO invariants on
+    # every packet.  Off by default — one attribute check per dispatch —
+    # and a verified run's archive is byte-identical to a default run.
+    verifier_enabled: bool = False
 
 
 class Process:
@@ -119,6 +125,9 @@ class Machine:
         # IRPs issued during construction already dispatch through it.
         self.spans = SpanTracer(self, self.collector,
                                 enabled=config.spans_enabled)
+        # Like the span tracer, the verifier must exist before the I/O
+        # manager: mount IRPs dispatch during construction.
+        self.verifier = DriverVerifier(enabled=config.verifier_enabled)
         self.io = IoManager(self)
         self.cc = CacheManager(
             self, int(config.memory_mb * _MB * config.cache_memory_fraction))

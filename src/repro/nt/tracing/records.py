@@ -14,7 +14,17 @@ import enum
 from dataclasses import dataclass
 
 from repro.nt.io.fastio import FastIoOp
-from repro.nt.io.irp import FsControlCode, Irp, IrpMajor, IrpMinor
+from repro.nt.io.irp import Irp, IrpMajor, IrpMinor
+
+# Decode vocabulary: the enums and helpers an archive consumer needs to
+# interpret record fields (CreateResult for IoStatus.Information on
+# creates, SetInformationClass for set-information records, extension_of
+# for the short-form names of §3.1).  Re-exported here because this
+# module is the read-side API surface — analysis code may import from
+# the tracing package but never from the live kernel (rule L501).
+from repro.nt.fs.driver import CreateResult as CreateResult
+from repro.nt.fs.path import extension_of as extension_of
+from repro.nt.io.irp import SetInformationClass as SetInformationClass
 
 
 class TraceEventKind(enum.IntEnum):

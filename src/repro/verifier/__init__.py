@@ -1,0 +1,50 @@
+"""Driver-Verifier-style static analysis for the repro tree.
+
+NT ships Driver Verifier to machine-check the IRP protocol rules every
+driver must obey; this package is the equivalent for the simulator's
+own invariants.  An AST-based rule engine (stdlib :mod:`ast`, no
+third-party dependencies) checks four rule families — determinism
+(D), IRP completion protocol (P), layering (L), and op-enum
+exhaustiveness (T) — against a justified suppression baseline
+(``verifier_baseline.toml``).  ``repro verify [PATHS]`` is the CLI.
+
+The static pass is paired with a runtime Driver-Verifier mode
+(:mod:`repro.nt.io.verifier`, ``MachineConfig.verifier_enabled``) that
+asserts the same protocol invariants against live traffic.
+"""
+
+from repro.verifier.baseline import (
+    BaselineError,
+    Suppression,
+    load_baseline,
+    parse_baseline,
+)
+from repro.verifier.engine import (
+    ModuleIndex,
+    ModuleInfo,
+    VerifyReport,
+    collect_files,
+    load_modules,
+    run_rules,
+    verify_paths,
+)
+from repro.verifier.findings import Finding
+from repro.verifier.rules import MODULE_RULES, RULE_CATALOG, TREE_RULES
+
+__all__ = [
+    "BaselineError",
+    "Finding",
+    "MODULE_RULES",
+    "ModuleIndex",
+    "ModuleInfo",
+    "RULE_CATALOG",
+    "Suppression",
+    "TREE_RULES",
+    "VerifyReport",
+    "collect_files",
+    "load_baseline",
+    "load_modules",
+    "parse_baseline",
+    "run_rules",
+    "verify_paths",
+]

@@ -1,0 +1,170 @@
+"""The verifier engine: file collection, parsing, and rule dispatch.
+
+The engine walks the requested paths, parses every ``.py`` file with the
+stdlib :mod:`ast` module, derives each file's dotted module name from
+its package structure (walking up through ``__init__.py`` files), and
+hands the resulting :class:`ModuleInfo` set to two kinds of rules:
+
+* **module rules** run once per file (determinism, protocol, layering);
+* **tree rules** run once over the whole module set (the exhaustiveness
+  cross-checks, which relate enum definitions in one file to handler
+  tables in another).
+
+Rules yield :class:`~repro.verifier.findings.Finding` objects; the
+engine sorts them and applies the suppression baseline.  The engine
+itself never prints — the CLI owns presentation and exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.verifier.baseline import Suppression, apply_baseline
+from repro.verifier.findings import Finding
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the context rules need."""
+
+    path: Path          # on-disk location
+    display_path: str   # forward-slash path used in findings
+    name: str           # dotted module name, e.g. "repro.nt.io.irp"
+    tree: ast.Module
+    source: str
+
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+@dataclass
+class ModuleIndex:
+    """The full module set a verifier run sees, keyed by dotted name."""
+
+    modules: List[ModuleInfo]
+    by_name: Dict[str, ModuleInfo] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.by_name = {m.name: m for m in self.modules}
+
+    def get(self, name: str) -> "ModuleInfo | None":
+        return self.by_name.get(name)
+
+
+ModuleRule = Callable[[ModuleInfo], Iterable[Finding]]
+TreeRule = Callable[[ModuleIndex], Iterable[Finding]]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain.
+
+    ``src/repro/nt/io/irp.py`` → ``repro.nt.io.irp``; a file outside any
+    package is just its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    package = path.parent
+    while (package / "__init__.py").exists():
+        parts.insert(0, package.name)
+        package = package.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand paths to the sorted list of ``.py`` files underneath.
+
+    Raises :class:`FileNotFoundError` for a path that does not exist and
+    :class:`ValueError` for a directory containing no Python files, so a
+    typo'd path can never produce a silently-clean run.
+    """
+    files: List[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(
+                f"verify path {path} does not exist")
+        if path.is_dir():
+            found = [p for p in sorted(path.rglob("*.py")) if p.is_file()]
+            if not found:
+                raise ValueError(
+                    f"verify path {path} contains no Python files")
+            files.extend(found)
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise ValueError(
+                f"verify path {path} is not a Python file or directory")
+    # De-duplicate while keeping the sorted-per-argument order stable.
+    seen = {}
+    for f in files:
+        seen.setdefault(f.resolve(), f)
+    return list(seen.values())
+
+
+def load_modules(files: Sequence[Path], root: "Path | None" = None,
+                 ) -> ModuleIndex:
+    """Parse files into a :class:`ModuleIndex`.
+
+    ``root`` anchors the display paths (defaults to the current working
+    directory; files outside it fall back to absolute paths).
+    """
+    base = (root or Path.cwd()).resolve()
+    modules: List[ModuleInfo] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            raise ValueError(f"verify cannot parse {file}: {exc}") from exc
+        resolved = file.resolve()
+        try:
+            display = resolved.relative_to(base).as_posix()
+        except ValueError:
+            display = resolved.as_posix()
+        modules.append(ModuleInfo(
+            path=file, display_path=display,
+            name=module_name_for(file), tree=tree, source=source))
+    return ModuleIndex(modules=modules)
+
+
+def run_rules(index: ModuleIndex,
+              module_rules: Sequence[ModuleRule],
+              tree_rules: Sequence[TreeRule]) -> List[Finding]:
+    """Run every rule over the index and return sorted findings."""
+    findings: List[Finding] = []
+    for module in index.modules:
+        for rule in module_rules:
+            findings.extend(rule(module))
+    for rule in tree_rules:
+        findings.extend(rule(index))
+    return sorted(set(findings))
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one verifier run, before presentation."""
+
+    findings: List[Finding]        # unsuppressed — these fail the run
+    suppressed: List[Finding]      # covered by the baseline
+    stale: List[Suppression]       # baseline entries that covered nothing
+    n_files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.stale
+
+
+def verify_paths(paths: Sequence[Path],
+                 suppressions: "List[Suppression] | None" = None,
+                 root: "Path | None" = None) -> VerifyReport:
+    """Collect, parse, and check ``paths`` against the full rule set."""
+    from repro.verifier.rules import MODULE_RULES, TREE_RULES
+
+    files = collect_files(paths)
+    index = load_modules(files, root=root)
+    findings = run_rules(index, MODULE_RULES, TREE_RULES)
+    kept, quieted, stale = apply_baseline(findings, suppressions or [])
+    return VerifyReport(findings=kept, suppressed=quieted, stale=stale,
+                        n_files=len(files))

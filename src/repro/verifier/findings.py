@@ -1,0 +1,32 @@
+"""Findings: what a verifier rule reports.
+
+A finding is one violation at one source location.  Findings are value
+objects — hashable, ordered by location — so rule output is stable and
+the engine can diff a run against a suppression baseline
+(:mod:`repro.verifier.baseline`) deterministically.
+
+Rule identifiers follow the Driver-Verifier-style catalog:
+
+* ``D1xx``/``D2xx`` — determinism (wall-clock/entropy bans, unordered
+  iteration hazards),
+* ``P3xx`` — IRP completion protocol,
+* ``L5xx`` — layering (import direction),
+* ``T4xx`` — exhaustiveness cross-checks over the op enums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line``."""
+
+    path: str       # forward-slash path, relative to the verify root
+    line: int       # 1-based source line
+    rule: str       # catalog id, e.g. "D201"
+    message: str    # one-line human description
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

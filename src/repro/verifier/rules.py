@@ -1,0 +1,51 @@
+"""The verifier rule registry.
+
+``MODULE_RULES`` run once per parsed file; ``TREE_RULES`` run once over
+the whole module set.  ``RULE_CATALOG`` is the operator-facing list the
+CLI prints with ``repro verify --rules``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.verifier.engine import ModuleRule, TreeRule
+from repro.verifier.rules_determinism import check_determinism
+from repro.verifier.rules_exhaustiveness import check_exhaustiveness
+from repro.verifier.rules_layering import check_layering
+from repro.verifier.rules_protocol import check_protocol
+
+MODULE_RULES: List[ModuleRule] = [
+    check_determinism,
+    check_protocol,
+    check_layering,
+]
+
+TREE_RULES: List[TreeRule] = [
+    check_exhaustiveness,
+]
+
+RULE_CATALOG: List[Tuple[str, str]] = [
+    ("D101", "banned wall-clock/entropy call (time.time, datetime.now, "
+             "random.*, numpy legacy global RNG, uuid1/4, os.urandom, "
+             "secrets.*)"),
+    ("D102", "RNG constructed without a seed (Random(), default_rng())"),
+    ("D103", "os.listdir/Path.iterdir/glob result used without sorted()"),
+    ("D201", "id(...) in repro.nt/repro.workload — identity-keyed state "
+             "varies across processes"),
+    ("D202", "iteration over a set-typed local/attribute in "
+             "repro.nt/repro.workload outside sorted()"),
+    ("P301", "IRP handler path neither completes nor forwards the packet"),
+    ("P302", "IRP handler path completes/forwards more than once "
+             "(use-after-complete)"),
+    ("L501", "repro.analysis/repro.stats imports repro.nt outside the "
+             "tracing read-side whitelist"),
+    ("L502", "repro.nt imports an upper layer (workload/analysis/replay/"
+             "cli/verifier)"),
+    ("L503", "repro.common imports another repro package"),
+    ("T401", "IrpMajor member missing from records.py record emission"),
+    ("T402", "FastIoOp member missing from records.py record emission"),
+    ("T403", "IrpMajor member missing from FileSystemDriver._IRP_HANDLERS"),
+    ("T404", "FastIoOp member missing from FileSystemDriver._FASTIO_HANDLERS"),
+    ("T405", "SpanCause member never stamped by any instrumentation site"),
+]

@@ -1,0 +1,151 @@
+"""T-rules: exhaustiveness cross-checks over the op enums.
+
+The paper's filter driver had to observe *every* request type; an op
+the filter does not decode simply vanishes from the figures.  These
+rules statically relate the enum definitions to the tables that must
+cover them, so adding an ``IrpMajor``/``FastIoOp`` member without
+teaching the trace path about it fails CI:
+
+* **T401** — every ``IrpMajor`` member is mapped to a trace event kind
+  in ``records.py`` (``_IRP_KIND_BY_MAJOR`` keys plus the majors
+  special-cased inside ``kind_for_irp``).
+* **T402** — every ``FastIoOp`` member is mapped in
+  ``_FASTIO_KIND_BY_OP`` (a comprehension over the whole enum counts
+  as full coverage).
+* **T403** — every ``IrpMajor`` member has a dispatch entry in
+  ``FileSystemDriver._IRP_HANDLERS``.
+* **T404** — every ``FastIoOp`` member has an entry in
+  ``FileSystemDriver._FASTIO_HANDLERS``.
+* **T405** — every ``SpanCause`` member is assigned by at least one
+  instrumentation site in ``repro.nt`` (a cause no component ever
+  stamps is a dead partition in the attribution tables).
+
+Each rule is skipped silently when the modules it relates are not part
+of the verified path set — verifying a fixture directory must not
+demand the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.verifier.astutil import (
+    attribute_refs,
+    enum_member_names,
+    find_assignment,
+)
+from repro.verifier.engine import ModuleIndex, ModuleInfo
+from repro.verifier.findings import Finding
+
+_IRP_MODULE = "repro.nt.io.irp"
+_FASTIO_MODULE = "repro.nt.io.fastio"
+_RECORDS_MODULE = "repro.nt.tracing.records"
+_FSD_MODULE = "repro.nt.fs.driver"
+_SPANS_MODULE = "repro.nt.tracing.spans"
+
+
+def _dict_literal_key_attrs(value: Optional[ast.expr], base: str) -> Set[str]:
+    """Attribute names used as ``base.X`` keys of a dict literal."""
+    keys: Set[str] = set()
+    if isinstance(value, ast.Dict):
+        for key in value.keys:
+            if (isinstance(key, ast.Attribute)
+                    and isinstance(key.value, ast.Name)
+                    and key.value.id == base):
+                keys.add(key.attr)
+    return keys
+
+
+def _covers_whole_enum(value: Optional[ast.expr], enum_name: str) -> bool:
+    """True for ``{op: ... for op in EnumName}`` — full coverage."""
+    if not isinstance(value, ast.DictComp):
+        return False
+    for gen in value.generators:
+        if isinstance(gen.iter, ast.Name) and gen.iter.id == enum_name:
+            return True
+    return False
+
+
+def _function_attr_refs(tree: ast.Module, func_name: str,
+                        base: str) -> Set[str]:
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == func_name):
+            return attribute_refs(node, base)
+    return set()
+
+
+def _table_coverage(table_module: ModuleInfo, table_name: str,
+                    enum_base: str, extra_func: Optional[str] = None,
+                    ) -> "tuple[Set[str], bool]":
+    """(covered member names, whole-enum comprehension?) for a table."""
+    value = find_assignment(table_module.tree, table_name)
+    if _covers_whole_enum(value, enum_base):
+        return set(), True
+    covered = _dict_literal_key_attrs(value, enum_base)
+    if extra_func:
+        covered |= _function_attr_refs(table_module.tree, extra_func,
+                                       enum_base)
+    return covered, False
+
+
+def _check_table(index: ModuleIndex, rule: str,
+                 enum_module: str, enum_name: str,
+                 table_module_name: str, table_name: str,
+                 extra_func: Optional[str] = None) -> Iterator[Finding]:
+    enum_mod = index.get(enum_module)
+    table_mod = index.get(table_module_name)
+    if enum_mod is None or table_mod is None:
+        return
+    members = enum_member_names(enum_mod.tree, enum_name)
+    if not members:
+        return
+    covered, whole = _table_coverage(table_mod, table_name, enum_name,
+                                     extra_func)
+    if whole:
+        return
+    line = 1
+    value = find_assignment(table_mod.tree, table_name)
+    if value is not None:
+        line = value.lineno
+    for member in sorted(members - covered):
+        yield Finding(
+            table_mod.display_path, line, rule,
+            f"{enum_name}.{member} has no entry in {table_name}"
+            + (f"/{extra_func}" if extra_func else "")
+            + " — the op would be invisible to the trace path")
+
+
+def check_exhaustiveness(index: ModuleIndex) -> Iterator[Finding]:
+    """All T-rules over the verified module set."""
+    yield from _check_table(index, "T401", _IRP_MODULE, "IrpMajor",
+                            _RECORDS_MODULE, "_IRP_KIND_BY_MAJOR",
+                            extra_func="kind_for_irp")
+    yield from _check_table(index, "T402", _FASTIO_MODULE, "FastIoOp",
+                            _RECORDS_MODULE, "_FASTIO_KIND_BY_OP",
+                            extra_func="kind_for_fastio")
+    yield from _check_table(index, "T403", _IRP_MODULE, "IrpMajor",
+                            _FSD_MODULE, "_IRP_HANDLERS")
+    yield from _check_table(index, "T404", _FASTIO_MODULE, "FastIoOp",
+                            _FSD_MODULE, "_FASTIO_HANDLERS")
+
+    # T405: every SpanCause member is stamped somewhere in repro.nt.
+    spans_mod = index.get(_SPANS_MODULE)
+    if spans_mod is None:
+        return
+    members = enum_member_names(spans_mod.tree, "SpanCause")
+    if not members:
+        return
+    assigned: Set[str] = set()
+    for module in index.modules:
+        if not module.name.startswith("repro.nt"):
+            continue
+        skip = "SpanCause" if module.name == _SPANS_MODULE else None
+        assigned |= attribute_refs(module.tree, "SpanCause",
+                                   skip_class_body=skip)
+    for member in sorted(members - assigned):
+        yield Finding(
+            spans_mod.display_path, 1, "T405",
+            f"SpanCause.{member} is never assigned by any repro.nt "
+            "instrumentation site — dead attribution partition")

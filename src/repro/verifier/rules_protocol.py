@@ -1,0 +1,259 @@
+"""P-rules: the IRP completion protocol.
+
+NT's Driver Verifier enforces that a driver completes each IRP exactly
+once or passes it down the stack — never both, never twice, never
+neither.  The static version checks every *handler* in ``repro.nt``: a
+function with a parameter named ``irp`` and an ``NtStatus`` return
+annotation.  Along every control-flow path the handler must transfer
+completion responsibility exactly once, where a transfer is:
+
+* ``irp.complete(...)`` — the handler completes the packet;
+* a forwarding call (``forward_irp``/``send_irp``/``dispatch``/
+  ``_dispatch``/``_dispatch_background``) that passes ``irp``;
+* a call to another handler *in the same module* (itself taking ``irp``
+  and returning ``NtStatus``) that passes ``irp`` — delegation.
+
+Any other call that receives ``irp`` is an observer (tracing, perf,
+verifier hooks) and does not transfer responsibility.  Paths that
+``raise`` are exempt — an exception is a simulator bug, not an I/O
+completion path.
+
+* **P301** — a path returns with the IRP neither completed nor
+  forwarded (the packet leaks).
+* **P302** — a path may complete/forward more than once
+  (double-completion / use-after-complete).
+
+The analysis is a conservative abstract interpretation over completion
+counts {0, 1, 2+}; events inside loops are applied once (optimistic),
+which the runtime Driver-Verifier mode backstops against live traffic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.verifier.engine import ModuleInfo
+from repro.verifier.findings import Finding
+
+_FORWARD_NAMES = {
+    "forward_irp", "send_irp", "dispatch",
+    "_dispatch", "_dispatch_background",
+}
+
+# Builtins that may receive ``irp`` without taking responsibility for it.
+_BUILTIN_OBSERVERS = {
+    "isinstance", "issubclass", "len", "repr", "str", "bool", "int",
+    "id", "hash", "print", "getattr", "setattr", "vars", "type", "Irp",
+}
+
+_MANY = 2  # saturating count: "two or more"
+
+
+def _returns_ntstatus(func: ast.AST) -> bool:
+    returns = getattr(func, "returns", None)
+    if returns is None:
+        return False
+    if isinstance(returns, ast.Name):
+        return returns.id == "NtStatus"
+    if isinstance(returns, ast.Constant) and isinstance(returns.value, str):
+        return returns.value.strip() == "NtStatus"
+    if isinstance(returns, ast.Attribute):
+        return returns.attr == "NtStatus"
+    return False
+
+
+def _is_handler(func: ast.AST) -> bool:
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    args = func.args
+    all_args = args.posonlyargs + args.args + args.kwonlyargs
+    return any(a.arg == "irp" for a in all_args) and _returns_ntstatus(func)
+
+
+def _passes_irp(call: ast.Call) -> bool:
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == "irp":
+            return True
+    for kw in call.keywords:
+        if isinstance(kw.value, ast.Name) and kw.value.id == "irp":
+            return True
+    return False
+
+
+class _HandlerAnalysis:
+    """Path-sensitive completion counting for one handler."""
+
+    def __init__(self, module: ModuleInfo, func: ast.FunctionDef,
+                 local_handlers: Set[str],
+                 module_names: Set[str]) -> None:
+        self.module = module
+        self.func = func
+        self.local_handlers = local_handlers
+        self.module_names = module_names
+        self.findings: List[Finding] = []
+        self._reported: Set[Tuple[str, int]] = set()
+
+    # -- events ------------------------------------------------------- #
+
+    def _events_in(self, expr: ast.AST) -> int:
+        """Completion-responsibility transfers inside one expression."""
+        events = 0
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "irp"
+                    and func.attr == "complete"):
+                events += 1
+            elif _passes_irp(node):
+                if isinstance(func, ast.Attribute):
+                    # Method calls transfer responsibility only when they
+                    # forward down the stack or invoke a local handler;
+                    # anything else (tracing, perf, verifier hooks) is an
+                    # observer.
+                    if (func.attr in _FORWARD_NAMES
+                            or func.attr in self.local_handlers):
+                        events += 1
+                elif isinstance(func, ast.Name):
+                    # A bare-name call takes the packet when it invokes a
+                    # local handler or a handler-table entry held in a
+                    # *local* variable (``handler(self, irp, device)``).
+                    # Names bound at module level — imported classifiers
+                    # like ``kind_for_irp``, builtins — are observers
+                    # unless they are handlers themselves.
+                    if func.id in self.local_handlers:
+                        events += 1
+                    elif (func.id not in _BUILTIN_OBSERVERS
+                          and func.id not in self.module_names):
+                        events += 1
+        return events
+
+    def _apply(self, states: Set[int], expr: ast.AST) -> Set[int]:
+        events = self._events_in(expr)
+        if not events:
+            return states
+        return {min(s + events, _MANY) for s in states}
+
+    # -- findings ----------------------------------------------------- #
+
+    def _check_exit(self, states: Set[int], line: int, where: str) -> None:
+        if 0 in states:
+            self._report("P301", line,
+                         f"a path {where} with the IRP neither completed "
+                         "nor forwarded (packet leak)")
+        if _MANY in states:
+            self._report("P302", line,
+                         f"a path {where} after completing/forwarding the "
+                         "IRP more than once (use-after-complete)")
+
+    def _report(self, rule: str, line: int, message: str) -> None:
+        key = (rule, line)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(Finding(
+            self.module.display_path, line, rule,
+            f"handler {self.func.name}: {message}"))
+
+    # -- statement walk ----------------------------------------------- #
+
+    def _walk(self, stmts: List[ast.stmt], states: Set[int]) -> Set[int]:
+        """Walk statements; return the fall-through states (empty when
+        every path returned or raised)."""
+        for stmt in stmts:
+            if not states:
+                return states
+            if isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    states = self._apply(states, stmt.value)
+                self._check_exit(states, stmt.lineno, "returns")
+                return set()
+            if isinstance(stmt, ast.Raise):
+                return set()
+            if isinstance(stmt, ast.If):
+                after_test = self._apply(states, stmt.test)
+                taken = self._walk(stmt.body, set(after_test))
+                skipped = self._walk(stmt.orelse, set(after_test))
+                states = taken | skipped
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                entered = self._apply(states, stmt.iter)
+                body = self._walk(stmt.body, set(entered))
+                states = self._walk(stmt.orelse, entered | body)
+            elif isinstance(stmt, ast.While):
+                entered = self._apply(states, stmt.test)
+                body = self._walk(stmt.body, set(entered))
+                states = self._walk(stmt.orelse, entered | body)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    states = self._apply(states, item.context_expr)
+                states = self._walk(stmt.body, states)
+            elif isinstance(stmt, ast.Try):
+                tried = self._walk(stmt.body, set(states))
+                # An exception may fire at any point in the body, so a
+                # handler can be entered from the pre-body states or any
+                # post-body state (approximated by the fall-through set).
+                handler_out: Set[int] = set()
+                for handler in stmt.handlers:
+                    handler_out |= self._walk(handler.body, states | tried)
+                if stmt.orelse:
+                    tried = self._walk(stmt.orelse, tried)
+                out = tried | handler_out
+                if stmt.finalbody:
+                    out = self._walk(stmt.finalbody, out)
+                states = out
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                continue  # nested definitions are separate scopes
+            else:
+                states = self._apply(states, stmt)
+        return states
+
+    def run(self) -> List[Finding]:
+        fallthrough = self._walk(self.func.body, {0})
+        if fallthrough:
+            last = self.func.body[-1]
+            self._check_exit(fallthrough, getattr(last, "lineno",
+                                                  self.func.lineno),
+                             "falls off the end")
+        return self.findings
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope: imports, defs, assignments."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return names
+
+
+def check_protocol(module: ModuleInfo) -> Iterator[Finding]:
+    """P-rules for one module (handlers in ``repro.nt`` only)."""
+    if not module.name.startswith("repro.nt"):
+        return
+    handlers = [node for node in ast.walk(module.tree) if _is_handler(node)]
+    local_names = {h.name for h in handlers}
+    module_names = _module_level_names(module.tree)
+    for handler in handlers:
+        yield from _HandlerAnalysis(module, handler, local_names,
+                                    module_names).run()

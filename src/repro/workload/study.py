@@ -41,7 +41,7 @@ from repro.nt.tracing.collector import TraceCollector
 from repro.stats.distributions import OnOffProcess, Pareto
 from repro.workload.apps import AppContext, AppModel, ExplorerApp, ServicesApp, WinlogonApp
 from repro.workload.content import build_user_share
-from repro.workload.users import BuiltMachine, CATEGORY_PROFILES, build_machine
+from repro.workload.users import BuiltMachine, build_machine
 
 # The paper's rough machine mix across the categories of §2.
 DEFAULT_CATEGORY_MIX: tuple[tuple[str, float], ...] = (
@@ -80,6 +80,10 @@ class StudyConfig:
     # Causal span tracing (repro.nt.tracing.spans / CLI --spans).  Off by
     # default: archives stay byte-identical to pre-span studies.
     spans_enabled: bool = False
+    # Runtime Driver-Verifier mode (repro.nt.io.verifier / CLI
+    # --verifier): protocol assertions on every dispatched packet.
+    # Archives stay byte-identical with it on or off.
+    verifier_enabled: bool = False
 
 
 @dataclass
@@ -372,7 +376,8 @@ def simulate_machine(config: StudyConfig, index: int, category_name: str,
     seed = config.seed * 10_007 + index
     built = build_machine(name, category_name, seed,
                           content_scale=config.content_scale,
-                          spans_enabled=config.spans_enabled)
+                          spans_enabled=config.spans_enabled,
+                          verifier_enabled=config.verifier_enabled)
     machine = built.machine
     if config.with_network_shares:
         share = Volume(label=f"srv-{built.username}",

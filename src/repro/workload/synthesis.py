@@ -17,9 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
-import numpy as np
 
-from repro.common.clock import ticks_from_micros
 from repro.common.flags import CreateDisposition, FileAccess
 from repro.stats.distributions import Empirical
 from repro.workload.apps import AppContext, AppModel

@@ -21,15 +21,13 @@ from repro.workload.apps import (
     BigBufferMailerApp,
     CompilerApp,
     DbAdminApp,
-    ExplorerApp,
     FrontPageApp,
     InstallerApp,
     JavaToolApp,
     MailApp,
     NotepadApp,
     ScientificApp,
-    WebBrowserApp,
-)
+    WebBrowserApp)
 from repro.workload.content import ContentCatalog, build_system_volume
 
 
@@ -105,7 +103,8 @@ class BuiltMachine:
 def build_machine(name: str, category_name: str, seed: int,
                   content_scale: float = 0.2,
                   username: str | None = None,
-                  spans_enabled: bool = False) -> BuiltMachine:
+                  spans_enabled: bool = False,
+                  verifier_enabled: bool = False) -> BuiltMachine:
     """Construct one traced machine of the given category with content."""
     category = CATEGORY_PROFILES[category_name]
     seeder = np.random.default_rng(seed)
@@ -122,6 +121,7 @@ def build_machine(name: str, category_name: str, seed: int,
                  else Volume.NTFS),
         seed=seed,
         spans_enabled=spans_enabled,
+        verifier_enabled=verifier_enabled,
     )
     machine = Machine(config)
     volume = Volume(

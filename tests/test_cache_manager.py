@@ -1,11 +1,10 @@
 """Tests for the cache manager: copy interface, read-ahead, purge, LRU,
 and cache-state invariants (property-based)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.flags import CreateDisposition, CreateOptions, FileAccess
+from repro.common.flags import CreateDisposition, FileAccess
 from repro.common.status import NtStatus
 from repro.nt.cache.cachemanager import (
     BOOSTED_READ_AHEAD,

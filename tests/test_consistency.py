@@ -93,26 +93,40 @@ class TestPublicApi:
             analyze_lifetimes, analyze_opens, by_category, by_file_type,
             by_process, compare_warehouses, figure_series,
             summarize_observations, user_activity_table, write_csv)
-        assert callable(compare_warehouses)
+        exports = (
+            TraceWarehouse, access_pattern_table, analyze_cache,
+            analyze_content, analyze_fastio, analyze_heavy_tails,
+            analyze_lifetimes, analyze_opens, by_category, by_file_type,
+            by_process, compare_warehouses, figure_series,
+            summarize_observations, user_activity_table, write_csv)
+        assert all(callable(export) for export in exports)
 
     def test_stats_exports(self):
         from repro.stats import (
             BoundedPareto, Choice, Empirical, Pareto, burstiness_profile,
             fit_tail_index, hill_estimator, hurst_rescaled_range,
             llcd_points, qq_pareto)
-        assert callable(hurst_rescaled_range)
+        exports = (
+            BoundedPareto, Choice, Empirical, Pareto, burstiness_profile,
+            fit_tail_index, hill_estimator, hurst_rescaled_range,
+            llcd_points, qq_pareto)
+        assert all(callable(export) for export in exports)
 
     def test_nt_exports(self):
         from repro.nt import Machine, MachineConfig
         from repro.nt.tracing import (N_EVENT_KINDS, load_study,
                                       save_study)
         assert N_EVENT_KINDS == 54
+        assert all(callable(export) for export in
+                   (Machine, MachineConfig, load_study, save_study))
 
     def test_workload_exports(self):
         from repro.workload import (APP_REGISTRY, CATEGORY_PROFILES,
                                     StudyConfig, build_machine, run_study)
         assert len(APP_REGISTRY) == 13
         assert len(CATEGORY_PROFILES) == 5
+        assert all(callable(export) for export in
+                   (StudyConfig, build_machine, run_study))
 
     def test_version_consistent_with_pyproject(self):
         import tomllib

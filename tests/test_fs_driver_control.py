@@ -1,7 +1,6 @@
 """Tests for control operations: set/query information, rename, delete
 disposition, directory enumeration, FSCTLs, and the two-stage close."""
 
-import pytest
 
 from repro.common.clock import TICKS_PER_SECOND
 from repro.common.flags import CreateDisposition, CreateOptions, FileAccess

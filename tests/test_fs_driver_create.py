@@ -1,14 +1,11 @@
 """Tests for IRP_MJ_CREATE semantics: dispositions, errors, binding."""
 
-import pytest
 
 from repro.common.flags import (
     CreateDisposition,
     CreateOptions,
-    FileAccess,
     FileAttributes,
-    FileObjectFlags,
-)
+    FileObjectFlags)
 from repro.common.status import NtStatus
 from repro.nt.fs.driver import CreateResult
 

@@ -1,7 +1,6 @@
 """Tests for read/write dispatch: caching, EOF, no-buffering, write-through,
 and the IRP-then-FastIO pattern of §10."""
 
-import pytest
 
 from repro.common.flags import (
     CreateDisposition,

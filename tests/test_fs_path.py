@@ -1,6 +1,5 @@
 """Tests for backslash path handling."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.nt.fs.path import (

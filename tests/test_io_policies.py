@@ -1,13 +1,7 @@
 """Tests for I/O-manager dispatch policy details."""
 
-import pytest
 
-from repro.common.flags import (
-    CreateDisposition,
-    CreateOptions,
-    FileAccess,
-    FileObjectFlags,
-)
+from repro.common.flags import CreateDisposition, CreateOptions, FileAccess
 from repro.common.status import NtStatus
 from repro.nt.system import Machine, MachineConfig
 from repro.nt.tracing.records import TraceEventKind

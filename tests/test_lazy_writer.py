@@ -1,7 +1,6 @@
 """Tests for the lazy writer: scan cadence, portioned write-behind, bursts,
 temporary-file exemption, and deferred closes."""
 
-import pytest
 
 from repro.common.clock import TICKS_PER_SECOND
 from repro.common.flags import (

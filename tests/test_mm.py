@@ -1,6 +1,5 @@
 """Tests for the VM manager: paging transfers, image sections, views."""
 
-import pytest
 
 from repro.common.flags import CreateDisposition, FileAccess
 from repro.common.status import NtStatus

@@ -10,7 +10,6 @@ from repro.analysis.warehouse import TraceWarehouse
 from repro.common.clock import TICKS_PER_MILLISECOND
 from repro.nt.fs.volume import Volume
 from repro.nt.system import Machine, MachineConfig
-from repro.nt.tracing.records import TraceEventKind
 from repro.workload.apps import AppContext, FrontPageApp, InstallerApp
 from repro.workload.content import build_system_volume
 

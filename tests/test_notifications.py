@@ -1,6 +1,5 @@
 """Tests for directory change notifications."""
 
-import pytest
 
 from repro.common.flags import CreateDisposition, CreateOptions, FileAccess
 from repro.common.status import NtStatus

@@ -6,8 +6,6 @@ import pytest
 
 from repro.common.clock import TICKS_PER_SECOND
 from repro.common.flags import CreateDisposition, FileAccess
-from repro.common.status import NtStatus
-from repro.nt.cache.lazywriter import LazyWriter
 from repro.nt.fs.volume import Volume
 from repro.nt.net.redirector import NetworkModel, SWITCHED_100MBIT
 

@@ -28,9 +28,12 @@ from repro.analysis.fidelity import (CORE_KINDS, TraceStats, fidelity_report,
 from repro.cli import main as cli_main
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.records import TraceEventKind, TraceRecord
-from repro.nt.tracing.store import (iter_trace_records, load_collector,
-                                    pack_collector, save_collector,
-                                    save_study, study_paths)
+from repro.nt.tracing.store import (
+    iter_trace_records,
+    load_collector,
+    pack_collector,
+    save_study,
+    study_paths)
 from repro.replay import ReplayConfig, replay_archive, replay_collector
 
 

@@ -7,8 +7,6 @@ the failure-injection net for the substrate — any operation interleaving
 that corrupts kernel state fails here.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, settings
 from hypothesis.stateful import (
     Bundle,
@@ -20,12 +18,7 @@ from hypothesis.stateful import (
 from hypothesis import strategies as st
 
 from repro.common.clock import TICKS_PER_SECOND
-from repro.common.flags import (
-    CreateDisposition,
-    CreateOptions,
-    FileAccess,
-    FileAttributes,
-)
+from repro.common.flags import CreateDisposition, FileAccess, FileAttributes
 from repro.nt.fs.nodes import FileNode
 from repro.nt.fs.volume import Volume
 from repro.nt.system import Machine, MachineConfig

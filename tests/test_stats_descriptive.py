@@ -5,14 +5,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.stats.descriptive import (
-    Summary,
     cdf_points,
     cdf_quantile,
     cdf_value_at,
     percentile,
     summarize,
-    weighted_cdf_points,
-)
+    weighted_cdf_points)
 
 
 class TestSummarize:

@@ -10,11 +10,7 @@ from repro.nt.system import Machine, MachineConfig
 from repro.nt.tracing.collector import TraceCollector
 from repro.stats.distributions import Empirical, Pareto
 from repro.workload.content import build_system_volume
-from repro.workload.synthesis import (
-    FittedWorkloadModel,
-    fit_workload,
-    run_synthetic_benchmark,
-)
+from repro.workload.synthesis import fit_workload, run_synthetic_benchmark
 
 
 class TestEmpirical:

@@ -1,13 +1,10 @@
 """Tests for machine assembly: scheduler, forked clock, processes,
 snapshots, and trace lifecycle."""
 
-import pytest
 
 from repro.common.clock import TICKS_PER_SECOND
 from repro.nt.fs.volume import Volume
-from repro.nt.system import Machine, MachineConfig
 
-from tests.conftest import make_file
 
 
 class TestScheduler:

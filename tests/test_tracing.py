@@ -3,7 +3,7 @@ triple buffering, name records, and snapshots."""
 
 import pytest
 
-from repro.common.flags import CreateDisposition, FileAccess, FileAttributes
+from repro.common.flags import CreateDisposition, FileAccess
 from repro.nt.fs.volume import Volume
 from repro.nt.io.fastio import FastIoOp
 from repro.nt.io.irp import Irp, IrpMajor, IrpMinor

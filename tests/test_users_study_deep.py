@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro import StudyConfig, run_study
-from repro.nt.fs.disk import IDE_DISK, SCSI_ULTRA2_DISK
+from repro.nt.fs.disk import SCSI_ULTRA2_DISK
 from repro.nt.fs.volume import Volume
 from repro.workload.users import CATEGORY_PROFILES, build_machine
 

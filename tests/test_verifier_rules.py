@@ -1,0 +1,428 @@
+"""Per-rule unit tests for the static verifier.
+
+Every rule family (D/P/L/T) gets at least one seeded bad-code fixture
+that must be caught and one clean fixture that must pass, per the
+Driver-Verifier discipline: a rule that never fires and a rule that
+always fires are equally useless.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.verifier import (
+    BaselineError,
+    collect_files,
+    load_modules,
+    parse_baseline,
+    run_rules,
+    verify_paths,
+)
+from repro.verifier.baseline import apply_baseline
+from repro.verifier.rules import MODULE_RULES, TREE_RULES
+
+
+def _write_tree(root: Path, files: dict) -> Path:
+    """Materialise ``{relpath: source}`` with full __init__.py chains."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def _findings_for(tmp_path: Path, files: dict):
+    root = _write_tree(tmp_path / "tree", files)
+    index = load_modules(collect_files([root]), root=tmp_path)
+    return run_rules(index, MODULE_RULES, TREE_RULES)
+
+
+def _rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# D-rules.
+
+
+def test_d101_catches_wall_clock_and_entropy(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        import time
+        import uuid
+        import os
+
+        def stamp():
+            return time.time(), uuid.uuid4(), os.urandom(8)
+        """})
+    assert len([f for f in findings if f.rule == "D101"]) == 3
+
+
+def test_d101_allows_monotonic_timers(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/ok.py": """\
+        import time
+
+        def elapsed(t0):
+            return time.perf_counter() - t0
+        """})
+    assert "D101" not in _rules_of(findings)
+
+
+def test_d101_catches_global_random_even_renamed(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        import numpy as np
+        from random import randint
+
+        def roll():
+            return randint(1, 6) + np.random.random()
+        """})
+    assert len([f for f in findings if f.rule == "D101"]) == 2
+
+
+def test_d102_catches_unseeded_rng(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        import numpy as np
+        from random import Random
+
+        UNSEEDED = np.random.default_rng()
+        ALSO_BAD = Random()
+        """})
+    assert len([f for f in findings if f.rule == "D102"]) == 2
+
+
+def test_d102_allows_seeded_rng(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/ok.py": """\
+        import numpy as np
+
+        RNG = np.random.default_rng(1998)
+        """})
+    assert _rules_of(findings) == set()
+
+
+def test_d103_catches_unsorted_listing(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/anywhere.py": """\
+        import os
+        from pathlib import Path
+
+        def scan(d):
+            for name in os.listdir(d):
+                yield name
+            return list(Path(d).glob("*.nttrace"))
+        """})
+    assert len([f for f in findings if f.rule == "D103"]) == 2
+
+
+def test_d103_allows_sorted_listing(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/anywhere.py": """\
+        import os
+
+        def scan(d):
+            return sorted(os.listdir(d))
+        """})
+    assert "D103" not in _rules_of(findings)
+
+
+def test_d201_catches_id_keys_in_sim_core_only(tmp_path):
+    files = {
+        "repro/nt/bad.py": """\
+            def key(obj, table):
+                table[id(obj)] = obj
+            """,
+        "repro/analysis/ok.py": """\
+            def key(obj, table):
+                table[id(obj)] = obj
+            """,
+    }
+    findings = _findings_for(tmp_path, files)
+    d201 = [f for f in findings if f.rule == "D201"]
+    assert len(d201) == 1
+    assert d201[0].path.endswith("repro/nt/bad.py")
+
+
+def test_d202_catches_set_iteration(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        class Tracker:
+            def __init__(self):
+                self.pages = set()
+
+            def drain(self):
+                return [p for p in self.pages]
+            """})
+    assert "D202" in _rules_of(findings)
+
+
+def test_d202_allows_sorted_set_iteration(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/ok.py": """\
+        class Tracker:
+            def __init__(self):
+                self.pages = set()
+
+            def drain(self):
+                return [p for p in sorted(self.pages)]
+
+            def size(self):
+                return len(self.pages)
+            """})
+    assert "D202" not in _rules_of(findings)
+
+
+# --------------------------------------------------------------------- #
+# P-rules.
+
+
+def test_p301_catches_leaked_packet(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        def handle(self, irp, device) -> NtStatus:
+            if irp.length > 0:
+                return irp.complete(0)
+            return 0
+        """})
+    assert "P301" in _rules_of(findings)
+
+
+def test_p302_catches_double_completion(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        def handle(self, irp, device) -> NtStatus:
+            irp.complete(0)
+            return self.forward_irp(irp, device)
+        """})
+    assert "P302" in _rules_of(findings)
+
+
+def test_p_rules_accept_well_formed_handlers(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/ok.py": """\
+        from repro.nt.tracing.records import kind_for_irp
+
+        def dispatch(self, irp, device) -> NtStatus:
+            handler = self._TABLE.get(irp.major)
+            if handler is None:
+                return irp.complete(1)
+            return handler(self, irp, device)
+
+        def _read(self, irp, device) -> NtStatus:
+            kind_for_irp(irp)
+            if irp.length == 0:
+                return irp.complete(0)
+            return self.forward_irp(irp, device)
+        """})
+    assert _rules_of(findings) == set()
+
+
+def test_p_rules_exempt_raising_paths(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/ok.py": """\
+        def handle(self, irp, device) -> NtStatus:
+            if irp.file_object is None:
+                raise ValueError("no file object")
+            return irp.complete(0)
+        """})
+    assert _rules_of(findings) == set()
+
+
+# --------------------------------------------------------------------- #
+# L-rules.
+
+
+def test_l501_catches_analysis_reaching_into_kernel(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/analysis/bad.py": """\
+        from repro.nt.cache.cachemanager import CacheManager
+        """})
+    assert "L501" in _rules_of(findings)
+
+
+def test_l501_allows_tracing_read_side(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/analysis/ok.py": """\
+        from repro.nt.tracing.records import TraceEventKind
+        from repro.nt.tracing.store import load_study
+        """})
+    assert "L501" not in _rules_of(findings)
+
+
+def test_l501_exempts_type_checking_imports(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/analysis/ok.py": """\
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from repro.nt.io.irp import Irp
+        """})
+    assert "L501" not in _rules_of(findings)
+
+
+def test_l502_catches_kernel_importing_upper_layer(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/nt/bad.py": """\
+        def run():
+            from repro.workload.study import StudyConfig
+            return StudyConfig
+        """})
+    assert "L502" in _rules_of(findings)
+
+
+def test_l503_catches_common_importing_upward(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/common/bad.py": """\
+        from repro.nt.io.irp import Irp
+        """})
+    assert "L503" in _rules_of(findings)
+
+
+# --------------------------------------------------------------------- #
+# T-rules.
+
+
+_ENUM_FIXTURE = {
+    "repro/nt/io/irp.py": """\
+        import enum
+
+        class IrpMajor(enum.IntEnum):
+            CREATE = 0
+            READ = 3
+        """,
+    "repro/nt/io/fastio.py": """\
+        import enum
+
+        class FastIoOp(enum.IntEnum):
+            READ = 1
+            WRITE = 2
+        """,
+}
+
+
+def test_t401_catches_untraced_major(tmp_path):
+    files = dict(_ENUM_FIXTURE)
+    files["repro/nt/tracing/records.py"] = """\
+        from repro.nt.io.irp import IrpMajor
+
+        _IRP_KIND_BY_MAJOR = {
+            IrpMajor.CREATE: 100,
+        }
+        """
+    findings = _findings_for(tmp_path, files)
+    t401 = [f for f in findings if f.rule == "T401"]
+    assert len(t401) == 1 and "IrpMajor.READ" in t401[0].message
+
+
+def test_t402_accepts_whole_enum_comprehension(tmp_path):
+    files = dict(_ENUM_FIXTURE)
+    files["repro/nt/tracing/records.py"] = """\
+        from repro.nt.io.fastio import FastIoOp
+
+        _FASTIO_KIND_BY_OP = {op: 200 + int(op) for op in FastIoOp}
+        """
+    findings = _findings_for(tmp_path, files)
+    assert "T402" not in _rules_of(findings)
+
+
+def test_t404_catches_unhandled_fastio_op(tmp_path):
+    files = dict(_ENUM_FIXTURE)
+    files["repro/nt/fs/driver.py"] = """\
+        from repro.nt.io.fastio import FastIoOp
+
+        class FileSystemDriver:
+            _FASTIO_HANDLERS = {
+                FastIoOp.READ: None,
+            }
+        """
+    findings = _findings_for(tmp_path, files)
+    t404 = [f for f in findings if f.rule == "T404"]
+    assert len(t404) == 1 and "FastIoOp.WRITE" in t404[0].message
+
+
+def test_t405_catches_dead_span_cause(tmp_path):
+    findings = _findings_for(tmp_path, {
+        "repro/nt/tracing/spans.py": """\
+            import enum
+
+            class SpanCause(enum.IntEnum):
+                USER = 0
+                GHOST = 1
+            """,
+        "repro/nt/io/iomanager.py": """\
+            from repro.nt.tracing.spans import SpanCause
+
+            DEFAULT = SpanCause.USER
+            """,
+    })
+    t405 = [f for f in findings if f.rule == "T405"]
+    assert len(t405) == 1 and "GHOST" in t405[0].message
+
+
+# --------------------------------------------------------------------- #
+# Engine path handling and baselines.
+
+
+def test_collect_files_rejects_missing_path(tmp_path):
+    with pytest.raises(FileNotFoundError, match="no/such"):
+        collect_files([tmp_path / "no" / "such"])
+
+
+def test_collect_files_rejects_empty_directory(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no Python files"):
+        collect_files([empty])
+
+
+def test_verify_paths_applies_baseline(tmp_path):
+    root = _write_tree(tmp_path / "tree", {"repro/nt/bad.py": """\
+        def key(obj, table):
+            table[id(obj)] = obj
+        """})
+    suppressions = parse_baseline("""\
+        [[suppression]]
+        rule = "D201"
+        path = "tree/repro/nt/bad.py"
+        match = "id(...)"
+        justification = "fixture: identity keying is intentional here"
+        """)
+    report = verify_paths([root], suppressions, root=tmp_path)
+    assert report.clean
+    assert len(report.suppressed) == 1
+
+
+def test_baseline_rejects_missing_justification():
+    with pytest.raises(BaselineError, match="justification"):
+        parse_baseline("""\
+            [[suppression]]
+            rule = "D201"
+            path = "x.py"
+            match = "id"
+            """)
+
+
+def test_baseline_rejects_unknown_keys():
+    with pytest.raises(BaselineError, match="unknown key"):
+        parse_baseline("""\
+            [[suppression]]
+            rule = "D201"
+            paths = "x.py"
+            """)
+
+
+def test_stale_suppressions_fail_the_run(tmp_path):
+    root = _write_tree(tmp_path / "tree", {"repro/nt/ok.py": "X = 1\n"})
+    suppressions = parse_baseline("""\
+        [[suppression]]
+        rule = "D201"
+        path = "tree/repro/nt/ok.py"
+        match = "id(...)"
+        justification = "stale: nothing here anymore"
+        """)
+    report = verify_paths([root], suppressions, root=tmp_path)
+    assert not report.findings
+    assert len(report.stale) == 1
+    assert not report.clean
+
+
+def test_apply_baseline_is_order_stable():
+    from repro.verifier import Finding
+
+    findings = [Finding("b.py", 2, "D101", "x"), Finding("a.py", 1, "D101", "x")]
+    kept, quieted, stale = apply_baseline(findings, [])
+    assert kept == sorted(findings)
+    assert quieted == [] and stale == []

@@ -1,0 +1,75 @@
+"""Self-check: the shipped tree verifies clean against its own baseline.
+
+This is the verifier's reason to exist — if ``src/repro`` stops passing
+its own rules, either the code regressed or a new suppression needs a
+written justification.  Also exercises the CLI surface end to end
+(exit codes, path errors, --rules) the way CI runs it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.verifier import load_baseline, verify_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "verifier_baseline.toml"
+
+
+def test_source_tree_is_clean_against_baseline():
+    suppressions = load_baseline(BASELINE)
+    report = verify_paths([SRC_TREE], suppressions, root=REPO_ROOT)
+    assert report.clean, "\n".join(f.format() for f in report.findings) or (
+        "stale suppressions: %r" % (report.stale,))
+    assert report.n_files > 50
+
+
+def test_every_suppression_is_justified_and_live():
+    suppressions = load_baseline(BASELINE)
+    assert suppressions, "baseline should document the known exceptions"
+    for sup in suppressions:
+        assert len(sup.justification) > 20, sup
+    report = verify_paths([SRC_TREE], suppressions, root=REPO_ROOT)
+    assert not report.stale, [s.path for s in report.stale]
+
+
+def _run_cli(*args: str, cwd: Path = REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "verify", *args],
+        cwd=cwd, env=env, capture_output=True, text=True)
+
+
+def test_cli_default_invocation_exits_zero():
+    proc = _run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "verified" in proc.stderr
+
+
+def test_cli_exits_one_on_findings(tmp_path):
+    bad = tmp_path / "repro" / "nt" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    for d in (tmp_path / "repro", bad.parent):
+        (d / "__init__.py").write_text("")
+    bad.write_text("import time\n\ndef now():\n    return time.time()\n")
+    proc = _run_cli(str(bad), "--baseline", str(tmp_path / "absent.toml"))
+    assert proc.returncode == 1
+    assert "D101" in proc.stdout
+
+
+def test_cli_names_missing_path():
+    proc = _run_cli("no/such/tree")
+    assert proc.returncode != 0
+    assert "no/such/tree" in proc.stderr
+
+
+def test_cli_rules_catalog_lists_every_family():
+    proc = _run_cli("--rules")
+    assert proc.returncode == 0
+    for rule in ("D101", "D201", "P301", "L501", "T401"):
+        assert rule in proc.stdout

@@ -1,10 +1,8 @@
 """Tests for the warehouse (fact table) and instance reconstruction."""
 
 import numpy as np
-import pytest
 
-from repro.analysis.sessions import build_instances
-from repro.analysis.warehouse import TraceWarehouse, pack_id
+from repro.analysis.warehouse import pack_id
 from repro.nt.tracing.records import TraceEventKind
 
 

@@ -1,10 +1,8 @@
 """Tests for the application models: each must run and leave the expected
 trace signature."""
 
-import numpy as np
 import pytest
 
-from repro.common.clock import TICKS_PER_SECOND
 from repro.nt.fs.volume import Volume
 from repro.nt.system import Machine, MachineConfig
 from repro.nt.tracing.records import TraceEventKind

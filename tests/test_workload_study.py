@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import StudyConfig, TraceWarehouse, run_study
+from repro import StudyConfig, run_study
 from repro.analysis.report import summarize_observations
 from repro.workload.study import _assign_categories
 
