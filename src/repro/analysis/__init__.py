@@ -20,6 +20,10 @@ processes and machines.  The per-section analyses consume these tables:
 * :mod:`repro.analysis.attribution` — §9–10's induced-I/O breakdown and
   critical-path decomposition, exact via causal spans.
 * :mod:`repro.analysis.report` — the table-1 observation summary.
+* :mod:`repro.analysis.timeseries` — flight-recorder interval series with
+  figure-8 burst/dispersion analysis.
+* :mod:`repro.analysis.openmetrics` — OpenMetrics text exposition of
+  perf snapshots.
 """
 
 from repro.analysis.warehouse import TraceWarehouse
@@ -62,6 +66,16 @@ from repro.analysis.attribution import (
     attribution_table,
     critical_path_table,
     reconcile_attribution,
+)
+from repro.analysis.timeseries import (
+    TimeseriesReport,
+    analyze_metrics_log,
+    reconcile_with_archive,
+)
+from repro.analysis.openmetrics import (
+    openmetrics_exposition,
+    validate_openmetrics,
+    write_openmetrics,
 )
 
 __all__ = [
@@ -111,4 +125,10 @@ __all__ = [
     "attribution_table",
     "critical_path_table",
     "reconcile_attribution",
+    "TimeseriesReport",
+    "analyze_metrics_log",
+    "reconcile_with_archive",
+    "openmetrics_exposition",
+    "validate_openmetrics",
+    "write_openmetrics",
 ]

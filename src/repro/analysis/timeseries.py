@@ -1,0 +1,273 @@
+"""Time-series analysis of flight-recorder logs (figure 8 revisited).
+
+The flight recorder samples every perf series into fixed simulated-time
+intervals (:mod:`repro.nt.flight`); this module folds a ``.ntmetrics``
+log into a fleet-wide per-interval activity series for one counter
+(default ``trace.records``, the trace filter's completion count) and asks
+the paper's figure-8 questions of it:
+
+* **bursts** — intervals whose fleet count exceeds a Poisson-implausible
+  threshold (``mean + 3·sqrt(mean)``, i.e. three standard deviations of a
+  rate-matched Poisson process);
+* **idle** — intervals in which nothing happened at all (empty SAMPLE
+  frames are explicit in the log, so idle is measured, not inferred);
+* **dispersion** — the index of dispersion of the interval counts at the
+  base interval and at 10× and 100× aggregation, against a seeded
+  synthesized Poisson reference of matching rate, reproducing the §7
+  conclusion that file-system activity stays bursty where Poisson
+  smooths out.
+
+Everything streams: samples are folded one frame at a time via
+:func:`repro.nt.flight.log.iter_samples`, so memory is bounded by the
+per-interval fleet array (one integer per interval), never the log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.clock import TICKS_PER_SECOND
+from repro.nt.flight.log import iter_samples
+from repro.stats.poisson import (
+    aggregate_counts,
+    index_of_dispersion,
+    synthesize_poisson_arrivals,
+)
+
+# The default series: one count per completed trace record, the closest
+# analogue of the paper's figure-8 arrival counts.
+DEFAULT_SERIES = "trace.records"
+
+# Aggregation scales relative to the base sampling interval (figure 8
+# used 1 s / 10 s / 100 s).
+DISPERSION_SCALES = (1, 10, 100)
+
+
+@dataclass(frozen=True)
+class MachineSeriesSummary:
+    """One machine's contribution to the fleet series."""
+
+    machine_name: str
+    n_samples: int
+    total: int
+    peak: int
+
+
+@dataclass
+class TimeseriesReport:
+    """Fleet-wide interval series for one counter, with burst analysis."""
+
+    series: str
+    interval_seconds: float
+    n_machines: int
+    n_intervals: int
+    total: int
+    idle_intervals: int
+    burst_intervals: int
+    burst_threshold: float
+    peak_count: int
+    peak_interval: int
+    # (scale multiplier, trace IoD, Poisson-reference IoD) per scale.
+    dispersion: list[tuple[int, float, float]] = field(default_factory=list)
+    machines: list[MachineSeriesSummary] = field(default_factory=list)
+
+    @property
+    def mean_count(self) -> float:
+        return self.total / self.n_intervals if self.n_intervals else 0.0
+
+    @property
+    def remains_bursty(self) -> bool:
+        """Figure-8 verdict: still over-dispersed at the coarsest scale."""
+        if not self.dispersion:
+            return False
+        _scale, trace_iod, poisson_iod = self.dispersion[-1]
+        return (math.isfinite(trace_iod) and math.isfinite(poisson_iod)
+                and trace_iod > 5.0 * max(poisson_iod, 1.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "series": self.series,
+            "interval_seconds": self.interval_seconds,
+            "n_machines": self.n_machines,
+            "n_intervals": self.n_intervals,
+            "total": self.total,
+            "mean_count": self.mean_count,
+            "idle_intervals": self.idle_intervals,
+            "burst_intervals": self.burst_intervals,
+            "burst_threshold": self.burst_threshold,
+            "peak_count": self.peak_count,
+            "peak_interval": self.peak_interval,
+            "remains_bursty": self.remains_bursty,
+            "dispersion": [
+                {"scale": scale, "trace_iod": trace_iod,
+                 "poisson_iod": poisson_iod}
+                for scale, trace_iod, poisson_iod in self.dispersion],
+            "machines": [
+                {"machine": m.machine_name, "samples": m.n_samples,
+                 "total": m.total, "peak": m.peak}
+                for m in self.machines],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"Flight-recorder series: {self.series}",
+            "=" * (24 + len(self.series)),
+            f"  machines              {self.n_machines:>12,}",
+            f"  interval              {self.interval_seconds:>11,.1f}s",
+            f"  intervals             {self.n_intervals:>12,}",
+            f"  total count           {self.total:>12,}",
+            f"  mean count/interval   {self.mean_count:>12,.1f}",
+            f"  idle intervals        {self.idle_intervals:>12,}"
+            f"  ({self.idle_intervals / self.n_intervals:.1%})"
+            if self.n_intervals else
+            f"  idle intervals        {self.idle_intervals:>12,}",
+            f"  burst intervals       {self.burst_intervals:>12,}"
+            f"  (> {self.burst_threshold:,.1f})",
+            f"  peak                  {self.peak_count:>12,}"
+            f"  at interval {self.peak_interval}",
+            "",
+            "  Index of dispersion vs Poisson reference (figure 8):",
+            f"  {'scale':>10} {'trace':>10} {'poisson':>10}",
+        ]
+        for scale, trace_iod, poisson_iod in self.dispersion:
+            seconds = scale * self.interval_seconds
+            t = f"{trace_iod:.2f}" if math.isfinite(trace_iod) else "-"
+            p = f"{poisson_iod:.2f}" if math.isfinite(poisson_iod) else "-"
+            lines.append(f"  {seconds:>9,.0f}s {t:>10} {p:>10}")
+        verdict = ("remains bursty at the coarsest scale"
+                   if self.remains_bursty
+                   else "smooths toward Poisson at the coarsest scale")
+        lines.append(f"  verdict: {verdict}")
+        lines.append("")
+        lines.append(f"  {'machine':<20} {'samples':>8} {'total':>12} "
+                     f"{'peak':>10}")
+        for m in self.machines:
+            lines.append(f"  {m.machine_name:<20} {m.n_samples:>8,} "
+                         f"{m.total:>12,} {m.peak:>10,}")
+        return "\n".join(lines)
+
+
+def analyze_metrics_log(path: Path | str,
+                        series: str = DEFAULT_SERIES,
+                        seed: int = 0) -> TimeseriesReport:
+    """Fold a ``.ntmetrics`` log into a fleet-wide :class:`TimeseriesReport`.
+
+    Streams the log one sample frame at a time; per-machine state is just
+    the running total and peak, and the fleet state one integer per
+    interval.  ``seed`` seeds the synthesized Poisson reference so the
+    dispersion columns are reproducible.
+    """
+    fleet: list[int] = []
+    machines: list[MachineSeriesSummary] = []
+    per_machine: dict[str, list[int]] = {}  # name -> [samples, total, peak]
+    order: list[str] = []
+    interval_ticks = 0
+    for machine_name, ticks, sample in iter_samples(path):
+        if machine_name not in per_machine:
+            per_machine[machine_name] = [0, 0, 0]
+            order.append(machine_name)
+            if interval_ticks and ticks != interval_ticks:
+                raise ValueError(
+                    f"{path}: machine {machine_name!r} sampled every "
+                    f"{ticks} ticks but earlier sections used "
+                    f"{interval_ticks}; mixed intervals cannot be folded "
+                    f"into one fleet series")
+            interval_ticks = ticks
+        state = per_machine[machine_name]
+        count = sample.counters.get(series, 0)
+        state[0] += 1
+        state[1] += count
+        if count > state[2]:
+            state[2] = count
+        # The sample at t_end covers (t_end - interval, t_end]; a final
+        # partial sample lands in the bucket its t_end falls in.
+        bucket = max(sample.t_end - 1, 0) // ticks
+        if bucket >= len(fleet):
+            fleet.extend([0] * (bucket + 1 - len(fleet)))
+        fleet[bucket] += count
+    for name in order:
+        n_samples, total, peak = per_machine[name]
+        machines.append(MachineSeriesSummary(
+            machine_name=name, n_samples=n_samples, total=total, peak=peak))
+    counts = np.asarray(fleet, dtype=np.int64)
+    total = int(counts.sum())
+    n_intervals = len(counts)
+    interval_seconds = (interval_ticks / TICKS_PER_SECOND
+                        if interval_ticks else 0.0)
+    mean = total / n_intervals if n_intervals else 0.0
+    threshold = mean + 3.0 * math.sqrt(mean) if mean > 0 else 0.0
+    report = TimeseriesReport(
+        series=series,
+        interval_seconds=interval_seconds,
+        n_machines=len(machines),
+        n_intervals=n_intervals,
+        total=total,
+        idle_intervals=int((counts == 0).sum()) if n_intervals else 0,
+        burst_intervals=(int((counts > threshold).sum())
+                         if n_intervals and mean > 0 else 0),
+        burst_threshold=threshold,
+        peak_count=int(counts.max()) if n_intervals else 0,
+        peak_interval=int(counts.argmax()) if n_intervals else 0,
+        machines=machines)
+    if n_intervals >= 2 and total > 0:
+        duration = n_intervals * interval_seconds
+        rate = total / duration
+        rng = np.random.default_rng(seed)
+        synth = synthesize_poisson_arrivals(rate, duration, rng)
+        # Base-interval counts of the reference, padded/trimmed to the
+        # trace's length so both sides aggregate identically (a partial
+        # trailing bucket would otherwise inflate the variance).
+        ref = aggregate_counts(synth, interval_seconds, duration)
+        if len(ref) < n_intervals:
+            ref = np.concatenate(
+                [ref, np.zeros(n_intervals - len(ref), dtype=ref.dtype)])
+        ref = ref[:n_intervals]
+        for scale in DISPERSION_SCALES:
+            if n_intervals < 2 * scale:
+                break  # too few coarse buckets to estimate a variance
+            keep = n_intervals - n_intervals % scale
+            trace_iod = index_of_dispersion(
+                counts[:keep].reshape(-1, scale).sum(axis=1))
+            poisson_iod = index_of_dispersion(
+                ref[:keep].reshape(-1, scale).sum(axis=1))
+            report.dispersion.append((scale, trace_iod, poisson_iod))
+    return report
+
+
+def reconcile_with_archive(report: TimeseriesReport,
+                           record_counts: dict[str, int],
+                           series: str = DEFAULT_SERIES) -> list[str]:
+    """Cross-check the metrics log against a trace archive's record counts.
+
+    ``record_counts`` maps machine name to the archive's record count
+    (from :func:`repro.nt.tracing.store.read_store_header`).  Only
+    meaningful for the ``trace.records`` series, where every archived
+    record was counted exactly once; returns human-readable mismatch
+    descriptions (empty = reconciled).
+    """
+    if report.series != series:
+        return [f"reconciliation requires the {series!r} series, "
+                f"report covers {report.series!r}"]
+    problems: list[str] = []
+    by_name = {m.machine_name: m for m in report.machines}
+    for name, expected in sorted(record_counts.items()):
+        summary = by_name.get(name)
+        if summary is None:
+            problems.append(
+                f"machine {name!r} is in the archive but has no metrics "
+                f"section")
+            continue
+        if summary.total != expected:
+            problems.append(
+                f"machine {name!r}: metrics log counted {summary.total:,} "
+                f"trace records, archive holds {expected:,}")
+    for name in by_name:
+        if name not in record_counts:
+            problems.append(
+                f"machine {name!r} has a metrics section but no archive "
+                f"file")
+    return problems

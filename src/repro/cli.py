@@ -4,9 +4,12 @@
 
     python -m repro run    --machines 6 --seconds 120 --out traces/ --perf
     python -m repro run    --machines 6 --seconds 120 --out traces/ --spans
+    python -m repro run    --machines 6 --seconds 120 --out traces/ --metrics
     python -m repro report traces/
     python -m repro figures traces/ --out figure-data/
     python -m repro perf   --machines 2 --seconds 30
+    python -m repro metrics traces/ --openmetrics metrics.prom
+    python -m repro profile --machines 2 --seconds 30
     python -m repro replay --traces traces/ --mode closed
     python -m repro spans  export traces/ --out chrome-trace.json
     python -m repro spans  attribution traces/
@@ -17,10 +20,16 @@ the paper's tables from an archive (or runs a fresh study when no archive
 is given); ``figures`` exports every figure's data series as CSV; ``perf``
 prints the performance-monitor counter table (from a dumped ``perf.json``
 or a fresh study) and can emit a wall-clock pipeline baseline for CI;
-``replay`` re-drives an archived study through fresh machines and prints
-the first- vs second-generation fidelity report; ``spans`` works on the
-causal span logs of a ``--spans`` archive — Chrome trace-event export,
-the induced-I/O attribution tables, and the tracing-overhead benchmark;
+``metrics`` analyses the flight-recorder sidecar of a ``--metrics``
+archive — per-interval fleet activity with figure-8 burst/dispersion
+analysis, reconciled against the archive's record counts, with optional
+OpenMetrics text export of the perf counters; ``profile`` self-profiles
+the simulator's IRP dispatch → cache → trace-filter hot path and reports
+records/sec (the CI throughput baseline); ``replay`` re-drives an
+archived study through fresh machines and prints the first- vs
+second-generation fidelity report; ``spans`` works on the causal span
+logs of a ``--spans`` archive — Chrome trace-event export, the
+induced-I/O attribution tables, and the tracing-overhead benchmark;
 ``verify`` runs the Driver-Verifier-style static analysis over the
 source tree and fails on any finding the committed baseline does not
 justify.
@@ -82,6 +91,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run with the runtime Driver Verifier: assert"
                           " IRP protocol invariants on every dispatch"
                           " (archives are unaffected)")
+    run.add_argument("--metrics", action="store_true",
+                     help="run the flight recorder: sample every perf"
+                          " series each simulated second and write a"
+                          " metrics.ntmetrics sidecar next to the archive"
+                          " (.nttrace files are unaffected)")
+    run.add_argument("--profile", action="store_true",
+                     help="self-profile the simulator hot path and print"
+                          " the per-subsystem wall-clock table")
     run.add_argument("--progress", action="store_true",
                      help="emit per-machine telemetry lines to stderr")
     _add_workers_option(run)
@@ -120,6 +137,35 @@ def _build_parser() -> argparse.ArgumentParser:
                            " (the CI BENCH_perf baseline)")
     _add_workers_option(perf)
 
+    metrics = sub.add_parser(
+        "metrics", help="analyse a flight-recorder metrics.ntmetrics log")
+    metrics.add_argument("traces", type=Path,
+                         help="archive directory holding a"
+                              " metrics.ntmetrics sidecar (from"
+                              " `repro run --metrics --out DIR`)")
+    metrics.add_argument("--series", default=None,
+                         help="perf series to fold into the fleet interval"
+                              " series (default: trace.records)")
+    metrics.add_argument("--seed", type=int, default=1998,
+                         help="seed of the synthesized Poisson reference")
+    metrics.add_argument("--json", type=Path, default=None,
+                         help="write the time-series report here as JSON")
+    metrics.add_argument("--openmetrics", type=Path, default=None,
+                         help="write the archive's perf counters in"
+                              " OpenMetrics text format here (requires"
+                              " the archive's perf.json)")
+
+    profile = sub.add_parser(
+        "profile", help="self-profile the simulator hot path")
+    profile.add_argument("--machines", type=int, default=2)
+    profile.add_argument("--seconds", type=float, default=30.0)
+    profile.add_argument("--seed", type=int, default=1998)
+    profile.add_argument("--scale", type=float, default=0.12)
+    profile.add_argument("--json", type=Path, default=None,
+                         help="write the throughput baseline here (the CI"
+                              " BENCH_throughput baseline)")
+    _add_workers_option(profile)
+
     replay = sub.add_parser(
         "replay", help="re-drive an archived study through the simulator")
     replay.add_argument("--traces", type=Path, required=True,
@@ -139,6 +185,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              " here as JSON")
     replay.add_argument("--progress", action="store_true",
                         help="emit per-machine telemetry lines to stderr")
+    replay.add_argument("--metrics", action="store_true",
+                        help="flight-record the replay and write a"
+                             " metrics.ntmetrics sidecar next to the"
+                             " second-generation archive (meaningful"
+                             " pacing needs --mode open)")
+    replay.add_argument("--profile", action="store_true",
+                        help="self-profile the replay hot path and print"
+                             " the per-subsystem wall-clock table")
     _add_workers_option(replay)
 
     spans = sub.add_parser(
@@ -225,16 +279,25 @@ def _print_perf_table(perf_by_machine, n_machines: int) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     from repro import StudyConfig, StudyTelemetry, run_study
+    from repro.nt.flight.log import (DEFAULT_METRICS_INTERVAL_SECONDS,
+                                     METRICS_FILENAME, write_metrics_log)
     from repro.nt.tracing.store import save_study
 
     telemetry = StudyTelemetry() if args.progress else None
+    begin = time.perf_counter()
     result = run_study(StudyConfig(
         n_machines=args.machines, duration_seconds=args.seconds,
         seed=args.seed, content_scale=args.scale,
         workers=args.workers, spans_enabled=args.spans,
-        verifier_enabled=args.verifier),
+        verifier_enabled=args.verifier,
+        metrics_interval_seconds=(DEFAULT_METRICS_INTERVAL_SECONDS
+                                  if args.metrics else 0.0),
+        profile_enabled=args.profile),
         telemetry=telemetry)
+    wall_seconds = time.perf_counter() - begin
     print(f"collected {result.total_records} records from "
           f"{len(result.collectors)} machines")
     if args.spans:
@@ -245,6 +308,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         total = sum(p.stat().st_size for p in paths)
         print(f"archived {len(paths)} machines to {args.out} "
               f"({total / 1024:.0f} KB)")
+    if args.metrics:
+        n_samples = sum(s.n_samples for s in result.metrics)
+        print(f"flight recorder sampled {n_samples} intervals across "
+              f"{len(result.metrics)} machines")
+        if args.out is not None:
+            path = args.out / METRICS_FILENAME
+            nbytes = write_metrics_log(result.metrics, path)
+            print(f"wrote metrics log to {path} ({nbytes / 1024:.0f} KB)")
     if args.perf:
         # Persist before the chatty table print so the archive companion
         # survives a closed downstream pipe (`repro run --perf | head`).
@@ -252,7 +323,19 @@ def cmd_run(args: argparse.Namespace) -> int:
             _write_perf_json(result.perf, _study_meta(args),
                              args.out / "perf.json")
         _print_perf_table(result.perf, len(result.collectors))
+    if args.profile:
+        _print_profile(result.profiles, result.total_records, wall_seconds)
     return 0
+
+
+def _print_profile(profiles, total_records: int, wall_seconds: float,
+                   title: str = "Hot-path profile") -> None:
+    from repro.nt.flight.profiler import (format_profile_table,
+                                          merge_profiles)
+
+    print()
+    print(format_profile_table(merge_profiles(profiles.values()),
+                               total_records, wall_seconds, title=title))
 
 
 def _study_meta(args: argparse.Namespace) -> dict:
@@ -287,12 +370,13 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_archived_perf(traces: Path, strict: bool = False) -> None:
-    """Print the counter table of an archive's perf.json.
+def _load_archived_perf(traces: Path, strict: bool = False) -> Optional[dict]:
+    """Load an archive's perf.json document.
 
     ``strict`` (the ``repro perf TRACES`` form, where the table is the
     whole point) exits non-zero naming the missing path; the soft form
-    (``report --perf``, where the table is a bonus) warns and returns.
+    (``report --perf``, where the table is a bonus) warns and returns
+    ``None``.
     """
     from repro.nt.perf import load_perf_json
 
@@ -308,12 +392,17 @@ def _print_archived_perf(traces: Path, strict: bool = False) -> None:
         print(f"\nno perf.json in {traces} — re-run "
               f"`repro run --perf --out {traces}` to produce one",
               file=sys.stderr)
-        return
+        return None
     try:
-        doc = load_perf_json(perf_path)
+        return load_perf_json(perf_path)
     except (ValueError, OSError, KeyError) as exc:
         raise SystemExit(f"cannot read {perf_path}: {exc}") from None
-    _print_perf_table(doc["machines"], len(doc["machines"]))
+
+
+def _print_archived_perf(traces: Path, strict: bool = False) -> None:
+    doc = _load_archived_perf(traces, strict)
+    if doc is not None:
+        _print_perf_table(doc["machines"], len(doc["machines"]))
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -336,7 +425,17 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from repro.analysis.report import summarize_observations
 
     if args.traces is not None:
-        _print_archived_perf(args.traces, strict=True)
+        if args.bench_json is not None:
+            raise SystemExit(
+                "--bench-json times the simulate/warehouse/analysis "
+                "pipeline, which does not run when reading an archive — "
+                "drop the TRACES argument to measure a fresh study")
+        doc = _load_archived_perf(args.traces, strict=True)
+        if args.json is not None:
+            # Re-dump the archived document canonically (byte-stable).
+            _write_perf_json(doc["machines"], doc.get("meta", {}),
+                             args.json)
+        _print_perf_table(doc["machines"], len(doc["machines"]))
         return 0
 
     telemetry = StudyTelemetry()
@@ -374,23 +473,128 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.openmetrics import write_openmetrics
+    from repro.analysis.timeseries import (DEFAULT_SERIES,
+                                           analyze_metrics_log,
+                                           reconcile_with_archive)
+    from repro.nt.flight.log import METRICS_FILENAME
+    from repro.nt.tracing.store import read_store_header, study_paths
+
+    if not args.traces.is_dir():
+        raise SystemExit(
+            f"trace archive directory {args.traces} does not exist")
+    metrics_path = args.traces / METRICS_FILENAME
+    if not metrics_path.exists():
+        raise SystemExit(
+            f"no {METRICS_FILENAME} in {args.traces} — re-run "
+            f"`repro run --metrics --out {args.traces}` to record one")
+    series = args.series or DEFAULT_SERIES
+    try:
+        report = analyze_metrics_log(metrics_path, series=series,
+                                     seed=args.seed)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(report.format())
+    status = 0
+    if series == DEFAULT_SERIES:
+        try:
+            record_counts = {}
+            for path in study_paths(args.traces):
+                _version, name, n_records = read_store_header(path)
+                record_counts[name] = n_records
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        problems = reconcile_with_archive(report, record_counts)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"RECONCILIATION MISMATCH: {problem}",
+                      file=sys.stderr)
+        else:
+            print(f"\nreconciliation: metrics log matches the archive's "
+                  f"record counts on all {len(record_counts)} machines")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.to_dict(), sort_keys=True, indent=1) + "\n")
+        print(f"wrote time-series report to {args.json}")
+    if args.openmetrics is not None:
+        doc = _load_archived_perf(args.traces, strict=True)
+        args.openmetrics.parent.mkdir(parents=True, exist_ok=True)
+        nbytes = write_openmetrics(doc["machines"], args.openmetrics)
+        print(f"wrote OpenMetrics exposition to {args.openmetrics} "
+              f"({nbytes / 1024:.1f} KB)")
+    return status
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import StudyConfig, StudyTelemetry, run_study
+    from repro.nt.flight.profiler import merge_profiles
+
+    telemetry = StudyTelemetry()
+    with telemetry.phase("simulate"):
+        result = run_study(StudyConfig(
+            n_machines=args.machines, duration_seconds=args.seconds,
+            seed=args.seed, content_scale=args.scale,
+            workers=args.workers, profile_enabled=True),
+            telemetry=telemetry)
+    wall_seconds = telemetry.phase_seconds["simulate"]
+    _print_profile(result.profiles, result.total_records, wall_seconds)
+    if args.json is not None:
+        from repro.workload.parallel import resolve_workers
+
+        merged = merge_profiles(result.profiles.values())
+        records_per_second = (result.total_records / wall_seconds
+                              if wall_seconds else float("nan"))
+        payload = {
+            "format": "nt-throughput-1",
+            "machines": args.machines,
+            "seconds": args.seconds,
+            "seed": args.seed,
+            "records": result.total_records,
+            "wall_seconds": wall_seconds,
+            "records_per_second": records_per_second,
+            "workers": (None if args.workers is None
+                        else resolve_workers(args.workers, args.machines)),
+            "bins": merged,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        print(f"wrote throughput baseline to {args.json}")
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     import json
+    import time
 
     from repro import StudyTelemetry
     from repro.analysis.fidelity import fidelity_report
+    from repro.nt.flight.log import (DEFAULT_METRICS_INTERVAL_SECONDS,
+                                     METRICS_FILENAME, write_metrics_log)
     from repro.nt.tracing.store import (iter_trace_records, save_study,
                                         study_paths)
     from repro.replay import ReplayConfig, replay_archive
 
-    config = ReplayConfig(mode=args.mode, seed=args.seed,
-                          workers=args.workers)
+    config = ReplayConfig(
+        mode=args.mode, seed=args.seed, workers=args.workers,
+        metrics_interval_seconds=(DEFAULT_METRICS_INTERVAL_SECONDS
+                                  if args.metrics else 0.0),
+        profile_enabled=args.profile)
     telemetry = StudyTelemetry() if args.progress else None
+    begin = time.perf_counter()
     try:
         source_paths = study_paths(args.traces)
         result = replay_archive(args.traces, config, telemetry=telemetry)
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
+    wall_seconds = time.perf_counter() - begin
     report = fidelity_report(
         [(machine.name, iter_trace_records(path),
           machine.collector.records, machine.outcome.to_dict())
@@ -402,6 +606,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
         total = sum(p.stat().st_size for p in paths)
         print(f"\narchived {len(paths)} replayed machines to {args.out} "
               f"({total / 1024:.0f} KB)")
+        if args.metrics:
+            path = args.out / METRICS_FILENAME
+            nbytes = write_metrics_log(result.metrics_sections, path)
+            print(f"wrote metrics log to {path} ({nbytes / 1024:.0f} KB)")
+    if args.profile:
+        _print_profile(result.profiles, result.total_replayed,
+                       wall_seconds, title="Replay hot-path profile")
     if args.fidelity_json is not None:
         args.fidelity_json.parent.mkdir(parents=True, exist_ok=True)
         args.fidelity_json.write_text(
@@ -565,6 +776,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "report": cmd_report,
                 "figures": cmd_figures, "perf": cmd_perf,
+                "metrics": cmd_metrics, "profile": cmd_profile,
                 "replay": cmd_replay, "spans": cmd_spans,
                 "verify": cmd_verify}
     return handlers[args.command](args)

@@ -1,0 +1,49 @@
+"""The flight recorder: streaming time-series metrics and self-profiling.
+
+The paper's strongest results are temporal — burstiness (fig. 8),
+self-similarity (fig. 10) and diurnal operational load (§8) — but the
+perf subsystem only reports end-of-run aggregates.  This package adds the
+*over-time* view:
+
+* :mod:`repro.nt.flight.log` — the ``.ntmetrics`` sidecar format: every
+  :class:`~repro.nt.perf.PerfRegistry` series sampled into fixed
+  simulated-time interval buckets, delta-encoded and zlib-compressed.
+* :mod:`repro.nt.flight.recorder` — the per-machine
+  :class:`FlightRecorder` that produces it with bounded memory, driven by
+  the machine's own timer wheel so archives stay byte-identical whether
+  it is on or off.
+* :mod:`repro.nt.flight.profiler` — the host-side
+  :class:`HotPathProfiler` attributing wall-clock time of the IRP
+  dispatch → cache → trace-filter inner loop to per-subsystem bins (the
+  baseline instrument for the ROADMAP's records/sec item).
+"""
+
+from repro.nt.flight.log import (
+    DEFAULT_METRICS_INTERVAL_SECONDS,
+    METRICS_FILENAME,
+    IntervalSample,
+    MetricsSection,
+    iter_samples,
+    read_metrics_header,
+    write_metrics_log,
+)
+from repro.nt.flight.profiler import (
+    HotPathProfiler,
+    format_profile_table,
+    merge_profiles,
+)
+from repro.nt.flight.recorder import FlightRecorder
+
+__all__ = [
+    "DEFAULT_METRICS_INTERVAL_SECONDS",
+    "METRICS_FILENAME",
+    "FlightRecorder",
+    "HotPathProfiler",
+    "IntervalSample",
+    "MetricsSection",
+    "format_profile_table",
+    "iter_samples",
+    "merge_profiles",
+    "read_metrics_header",
+    "write_metrics_log",
+]

@@ -1,0 +1,110 @@
+"""Host-side self-profiling of the simulator hot path.
+
+The ROADMAP's throughput item ("batch the hot path; make records/sec the
+headline benchmark") needs a baseline instrument: where does *host*
+wall-clock time go while a machine simulates?  The
+:class:`HotPathProfiler` attributes ``time.perf_counter`` time to
+per-subsystem bins at the same sites the perf registry instruments — the
+IRP dispatch → cache → trace-filter inner loop — with exclusive-time
+accounting, so nested bins (an IRP that enters the cache manager) never
+double-count.
+
+Wall-clock figures stay strictly on the telemetry side: they never enter
+trace archives or ``perf.json`` (the determinism verifier's D101 rule
+explicitly permits monotonic timers for exactly this split).  Disabled,
+each site costs one attribute check, matching the span-tracer idiom.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+# Bin names, kept here so hook sites and reports agree on spelling.
+BIN_IRP_DISPATCH = "io.irp_dispatch"
+BIN_FASTIO = "io.fastio"
+BIN_TRACE_FILTER = "trace.filter"
+BIN_FS_DRIVER = "fs.driver"
+BIN_REDIRECTOR = "net.redirector"
+BIN_COPY_READ = "cc.copy_read"
+BIN_COPY_WRITE = "cc.copy_write"
+BIN_LAZY_WRITER = "lw.scan"
+
+
+class HotPathProfiler:
+    """Exclusive wall-clock time per subsystem bin.
+
+    ``enter``/``exit`` maintain a stack of open bins; a bin's exclusive
+    time is its elapsed time minus the time spent in bins opened inside
+    it, so the column sums to at most the real elapsed time no matter
+    how deeply dispatch nests.
+    """
+
+    __slots__ = ("enabled", "_stack", "_exclusive", "_calls")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        # Open frames: [bin name, start, child elapsed] (mutable).
+        self._stack: list[list] = []
+        self._exclusive: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    def enter(self, bin_name: str) -> None:
+        self._stack.append([bin_name, perf_counter(), 0.0])
+
+    def exit(self) -> None:
+        bin_name, started, child = self._stack.pop()
+        elapsed = perf_counter() - started
+        self._exclusive[bin_name] = \
+            self._exclusive.get(bin_name, 0.0) + (elapsed - child)
+        self._calls[bin_name] = self._calls.get(bin_name, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def snapshot(self) -> dict:
+        """Plain-dict bins, mergeable and picklable across workers."""
+        return {name: {"calls": self._calls[name],
+                       "exclusive_seconds": self._exclusive[name]}
+                for name in sorted(self._exclusive)}
+
+
+def merge_profiles(snapshots) -> dict:
+    """Sum per-machine profiler snapshots into one fleet-wide profile."""
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, bin_data in snap.items():
+            agg = merged.get(name)
+            if agg is None:
+                agg = merged[name] = {"calls": 0, "exclusive_seconds": 0.0}
+            agg["calls"] += bin_data["calls"]
+            agg["exclusive_seconds"] += bin_data["exclusive_seconds"]
+    return dict(sorted(merged.items()))
+
+
+def format_profile_table(merged: dict, total_records: int,
+                         wall_seconds: float,
+                         title: str = "Hot-path profile") -> str:
+    """Render a merged profile as a hotspot table plus records/sec."""
+    lines = [title, "=" * len(title)]
+    total_binned = sum(b["exclusive_seconds"] for b in merged.values())
+    if merged:
+        lines.append(f"  {'Bin':<20} {'Calls':>12} {'Excl s':>10} "
+                     f"{'% binned':>9} {'us/call':>9}")
+        ranked = sorted(merged.items(),
+                        key=lambda kv: -kv[1]["exclusive_seconds"])
+        for name, bin_data in ranked:
+            seconds = bin_data["exclusive_seconds"]
+            calls = bin_data["calls"]
+            share = seconds / total_binned if total_binned else 0.0
+            per_call = seconds / calls * 1e6 if calls else 0.0
+            lines.append(f"  {name:<20} {calls:>12,} {seconds:>10.3f} "
+                         f"{share:>8.1%} {per_call:>9.1f}")
+    else:
+        lines.append("  (no profiled bins — hot path never entered)")
+    lines.append("")
+    other = max(0.0, wall_seconds - total_binned)
+    lines.append(f"  binned {total_binned:.3f} s of {wall_seconds:.3f} s "
+                 f"wall ({other:.3f} s outside profiled bins)")
+    rate = total_records / wall_seconds if wall_seconds else float("nan")
+    lines.append(f"  throughput: {total_records:,} records in "
+                 f"{wall_seconds:.3f} s = {rate:,.0f} records/sec")
+    return "\n".join(lines)

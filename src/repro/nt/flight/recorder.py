@@ -1,0 +1,162 @@
+"""The per-machine flight recorder.
+
+Samples every series of the machine's :class:`~repro.nt.perf.PerfRegistry`
+at a fixed simulated-time interval and appends delta-encoded frames to an
+in-memory stream (the :mod:`repro.nt.flight.log` format).  Three
+properties matter:
+
+* **Archives are byte-identical with it on or off.**  The recorder rides
+  the machine's own timer wheel and its callback only *reads* counters —
+  it never consumes the RNG, advances the clock, or dispatches I/O — so
+  enabling it perturbs nothing the trace filter records.
+* **Bounded memory.**  Live state is one last-value map per series kind
+  (O(number of series)) plus the append-only compressed-ready frame
+  buffer; nothing is materialised per interval beyond the frame bytes
+  themselves.
+* **Deterministic.**  Sample times are interval boundaries of the
+  simulated clock; series ids are assigned in first-change order, which
+  derives only from simulated events.  A machine therefore produces the
+  same section whether it simulates serially or in a worker process —
+  the same discipline that keeps ``.nttrace`` archives byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.nt.flight.log import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    MetricsSection,
+    encode_define,
+    encode_end,
+    encode_histogram_entry,
+    encode_sample_head,
+    encode_scalar_entry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nt.system import Machine
+
+
+class FlightRecorder:
+    """Streams one machine's perf series into interval-bucket frames."""
+
+    def __init__(self, machine: "Machine", interval_ticks: int) -> None:
+        if interval_ticks <= 0:
+            raise ValueError(
+                f"flight recorder interval must be positive, "
+                f"got {interval_ticks}")
+        self.machine = machine
+        self.interval_ticks = interval_ticks
+        self.n_samples = 0
+        self._frames = bytearray()
+        self._series_ids: dict[str, int] = {}
+        self._last_counter: dict[str, int] = {}
+        self._last_gauge: dict[str, int] = {}
+        self._last_hist: dict[str, tuple[int, int, int]] = {}
+        self._next_t = interval_ticks
+        self._last_t = -1
+        self._entry_count = 0
+        self._finished = False
+
+    def install(self) -> None:
+        """Arm the first sampling timer on the machine's timer wheel."""
+        self.machine.schedule(self._next_t, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # Sampling.
+
+    def _define(self, kind: int, name: str) -> int:
+        series_id = self._series_ids.get(name)
+        if series_id is None:
+            series_id = self._series_ids[name] = len(self._series_ids)
+            self._frames += encode_define(kind, series_id, name)
+        return series_id
+
+    def _collect_entries(self) -> bytearray:
+        """Delta entries for every series that changed since last sample.
+
+        Iterates the registry in insertion order — itself a pure function
+        of simulated events — and updates the last-value maps in place.
+        """
+        entries = bytearray()
+        count = 0
+        perf = self.machine.perf
+        last_counter = self._last_counter
+        for counter in perf.iter_counters():
+            value = counter.value
+            if value != last_counter.get(counter.name, 0):
+                sid = self._define(KIND_COUNTER, counter.name)
+                entries += encode_scalar_entry(
+                    sid, value - last_counter.get(counter.name, 0))
+                last_counter[counter.name] = value
+                count += 1
+        last_gauge = self._last_gauge
+        for gauge in perf.iter_gauges():
+            if not gauge.touched:
+                continue
+            if gauge.value != last_gauge.get(gauge.name):
+                sid = self._define(KIND_GAUGE, gauge.name)
+                entries += encode_scalar_entry(sid, gauge.value)
+                last_gauge[gauge.name] = gauge.value
+                count += 1
+        last_hist = self._last_hist
+        for hist in perf.iter_histograms():
+            prev = last_hist.get(hist.name, (0, 0, 0))
+            if hist.count != prev[0]:
+                sid = self._define(KIND_HISTOGRAM, hist.name)
+                entries += encode_histogram_entry(
+                    sid, hist.count - prev[0], hist.sum_ticks - prev[1],
+                    hist.max_ticks)
+                last_hist[hist.name] = (hist.count, hist.sum_ticks,
+                                        hist.max_ticks)
+                count += 1
+        self._entry_count = count
+        return entries
+
+    def _emit_sample(self, t_end: int) -> None:
+        entries = self._collect_entries()
+        self._frames += encode_sample_head(t_end, self._entry_count)
+        self._frames += entries
+        self.n_samples += 1
+        self._last_t = t_end
+
+    def _tick(self) -> None:
+        if self._finished:
+            return
+        self._emit_sample(self._next_t)
+        self._next_t += self.interval_ticks
+        self.machine.schedule(self._next_t, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # End of run.
+
+    def finish(self) -> None:
+        """Emit the final partial interval (if any) and seal the stream.
+
+        Idempotent: ``Machine.finish_tracing`` calls it, and study code
+        may call it again defensively.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        now = self.machine.clock.now
+        entries = self._collect_entries()
+        if self._entry_count or now > self._last_t:
+            self._frames += encode_sample_head(now, self._entry_count)
+            self._frames += entries
+            self.n_samples += 1
+            self._last_t = now
+        self._frames += encode_end(self.n_samples)
+
+    def section(self) -> MetricsSection:
+        """The machine's finished section, ready to merge and write."""
+        if not self._finished:
+            self.finish()
+        return MetricsSection(
+            machine_name=self.machine.name,
+            interval_ticks=self.interval_ticks,
+            n_samples=self.n_samples,
+            frames=bytes(self._frames))

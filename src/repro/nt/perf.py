@@ -38,6 +38,10 @@ BUCKET_EDGES_TICKS: tuple[int, ...] = tuple(
 BUCKET_EDGES_MICROS: tuple[int, ...] = tuple(1 << i for i in range(N_BUCKETS))
 
 
+class PerfSchemaError(ValueError):
+    """Snapshots disagree on a series' schema (kind or bucket layout)."""
+
+
 class Counter:
     """A cheap monotonic event counter."""
 
@@ -191,6 +195,21 @@ class PerfRegistry:
         return counter.value if counter is not None else 0
 
     # ------------------------------------------------------------------ #
+    # Iteration (the flight recorder's read side).
+
+    def iter_counters(self) -> Iterable[Counter]:
+        """All counters, in registration order (deterministic per seed)."""
+        return self._counters.values()
+
+    def iter_gauges(self) -> Iterable[Gauge]:
+        """All gauges, in registration order."""
+        return self._gauges.values()
+
+    def iter_histograms(self) -> Iterable[LatencyHistogram]:
+        """All histograms, in registration order."""
+        return self._histograms.values()
+
+    # ------------------------------------------------------------------ #
     # Snapshots.
 
     def snapshot(self) -> dict:
@@ -216,12 +235,31 @@ class PerfRegistry:
         return snap
 
 
+_KIND_SECTIONS = (("counters", "counter"), ("gauges", "gauge"),
+                  ("histograms", "histogram"))
+
+
 def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
-    """Aggregate per-machine snapshots into one fleet-wide snapshot."""
+    """Aggregate per-machine snapshots into one fleet-wide snapshot.
+
+    The snapshots must agree on what each series *is*: a name appearing
+    as a counter in one snapshot and a gauge or histogram in another —
+    or histograms with different bucket layouts — raises
+    :class:`PerfSchemaError` naming the series, rather than silently
+    unioning incompatible data into one table.
+    """
     counters: dict[str, int] = {}
     histograms: dict[str, dict] = {}
     gauges: dict[str, int] = {}
+    kinds: dict[str, str] = {}
     for snap in snapshots:
+        for section, kind in _KIND_SECTIONS:
+            for name in snap.get(section, {}):
+                seen = kinds.setdefault(name, kind)
+                if seen != kind:
+                    raise PerfSchemaError(
+                        f"cannot merge perf snapshots: series {name!r} is "
+                        f"a {seen} in one snapshot and a {kind} in another")
         for name, value in snap.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
         for name, value in snap.get("gauges", {}).items():
@@ -231,7 +269,12 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
             if agg is None:
                 agg = histograms[name] = {
                     "count": 0, "sum_ticks": 0, "max_ticks": 0,
-                    "bucket_counts": [0] * (N_BUCKETS + 1)}
+                    "bucket_counts": [0] * len(h["bucket_counts"])}
+            if len(h["bucket_counts"]) != len(agg["bucket_counts"]):
+                raise PerfSchemaError(
+                    f"cannot merge perf snapshots: histogram {name!r} has "
+                    f"{len(h['bucket_counts'])} buckets in one snapshot "
+                    f"and {len(agg['bucket_counts'])} in another")
             agg["count"] += h["count"]
             agg["sum_ticks"] += h["sum_ticks"]
             agg["max_ticks"] = max(agg["max_ticks"], h["max_ticks"])
@@ -278,6 +321,13 @@ def format_perf_table(snapshot: Mapping, title: str = "Performance monitor"
                      f"{'Max':>10}")
         for name in sorted(histograms):
             hist = _hist_from_dict(name, histograms[name])
+            if not hist.count:
+                # No samples: there is no latency to summarise, and a
+                # rendered NaN (or a fabricated p50=0) would misread as
+                # a measured value.
+                lines.append(f"  {name:<40} {0:>10,} {'-':>9} {'-':>9} "
+                             f"{'-':>9} {'-':>9} {'-':>10}")
+                continue
             lines.append(
                 f"  {name:<40} {hist.count:>10,} "
                 f"{hist.mean_micros:>9.1f} "

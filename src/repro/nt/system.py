@@ -16,8 +16,10 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.common.clock import SimClock
+from repro.common.clock import SimClock, ticks_from_seconds
 from repro.nt.cache.cachemanager import CacheManager
+from repro.nt.flight.profiler import HotPathProfiler
+from repro.nt.flight.recorder import FlightRecorder
 from repro.nt.cache.lazywriter import LazyWriter
 from repro.nt.fs.disk import DiskModel, IDE_DISK
 from repro.nt.fs.driver import FileSystemDriver
@@ -79,6 +81,15 @@ class MachineConfig:
     # every packet.  Off by default — one attribute check per dispatch —
     # and a verified run's archive is byte-identical to a default run.
     verifier_enabled: bool = False
+    # Flight recorder (repro.nt.flight): sample every perf series into
+    # fixed simulated-time interval buckets for the .ntmetrics sidecar.
+    # 0.0 disables it; the recorder only reads counters from the timer
+    # wheel, so archives stay byte-identical with it on or off.
+    metrics_interval_seconds: float = 0.0
+    # Host-side hot-path self-profiler (repro.nt.flight.profiler).  Off
+    # by default — one attribute check per profiled site — and its
+    # wall-clock bins never enter archives or perf.json.
+    profile_enabled: bool = False
 
 
 class Process:
@@ -120,6 +131,9 @@ class Machine:
         self.rng = np.random.default_rng(config.seed)
         self.counters: Counter = Counter()
         self.perf = PerfRegistry(config.name, enabled=config.perf_enabled)
+        # The profiler must exist before the I/O manager and the driver
+        # stack: hook sites cache a reference at construction.
+        self.profiler = HotPathProfiler(enabled=config.profile_enabled)
         self.collector = TraceCollector(config.name)
         # The span tracer must exist before the I/O manager: the mount
         # IRPs issued during construction already dispatch through it.
@@ -153,6 +167,13 @@ class Machine:
         self.win32 = Win32Api(self)
         if config.lazy_writer_enabled:
             self.lazy_writer.start()
+        # Flight recorder last: its sampling timer rides the timer wheel
+        # and only reads counters, so archives are identical on or off.
+        self.flight: FlightRecorder | None = None
+        if config.metrics_interval_seconds > 0:
+            self.flight = FlightRecorder(
+                self, ticks_from_seconds(config.metrics_interval_seconds))
+            self.flight.install()
 
     # ------------------------------------------------------------------ #
     # Volume mounting.
@@ -298,4 +319,6 @@ class Machine:
             self.run_until(self.clock.now + drain_ticks)
         for filt in self.trace_filters:
             filt.flush()
+        if self.flight is not None:
+            self.flight.finish()
         return self.collector

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.status import NtStatus
+from repro.nt.flight.profiler import BIN_TRACE_FILTER
 from repro.nt.io.driver import DeviceObject, Driver
 from repro.nt.io.fastio import FastIoOp, FastIoResult
 from repro.nt.io.irp import Irp, IrpMajor, IrpMinor
@@ -55,41 +56,58 @@ class TraceFilterDriver(Driver):
     # ------------------------------------------------------------------ #
 
     def dispatch(self, irp: Irp, device: DeviceObject) -> NtStatus:
-        if not self.enabled:
-            if self._perf.enabled:
-                self._perf_dropped.add(1)
-            return self.forward_irp(irp, device)
-        if irp.major == IrpMajor.CREATE or irp.minor == IrpMinor.MOUNT_VOLUME:
-            self._ensure_name_record(irp)
-        status = self.forward_irp(irp, device)
-        record = self._record_for(kind_for_irp(irp), irp)
-        self.buffer.append(record)
-        spans = self.io.machine.spans
-        if spans.enabled:
-            spans.mark_recorded(record)
-        if self._perf.enabled:
-            self._perf_records.add(1)
-        return status
-
-    def fastio(self, op: FastIoOp, irp_like: Irp,
-               device: DeviceObject) -> FastIoResult:
-        result = self.forward_fastio(op, irp_like, device)
-        if self.enabled and result.handled:
-            # Completed FastIO calls carry their outcome in the result
-            # structure, not the parameter block; copy it so the record
-            # logs the bytes actually transferred.
-            irp_like.status = result.status
-            irp_like.returned = result.returned
-            record = self._record_for(kind_for_fastio(op), irp_like)
+        profiler = self._profiler
+        prof_on = profiler.enabled
+        if prof_on:
+            profiler.enter(BIN_TRACE_FILTER)
+        try:
+            if not self.enabled:
+                if self._perf.enabled:
+                    self._perf_dropped.add(1)
+                return self.forward_irp(irp, device)
+            if (irp.major == IrpMajor.CREATE
+                    or irp.minor == IrpMinor.MOUNT_VOLUME):
+                self._ensure_name_record(irp)
+            status = self.forward_irp(irp, device)
+            record = self._record_for(kind_for_irp(irp), irp)
             self.buffer.append(record)
             spans = self.io.machine.spans
             if spans.enabled:
                 spans.mark_recorded(record)
             if self._perf.enabled:
                 self._perf_records.add(1)
-        elif not self.enabled and result.handled and self._perf.enabled:
-            self._perf_dropped.add(1)
-        return result
+            return status
+        finally:
+            if prof_on:
+                profiler.exit()
+
+    def fastio(self, op: FastIoOp, irp_like: Irp,
+               device: DeviceObject) -> FastIoResult:
+        profiler = self._profiler
+        prof_on = profiler.enabled
+        if prof_on:
+            profiler.enter(BIN_TRACE_FILTER)
+        try:
+            result = self.forward_fastio(op, irp_like, device)
+            if self.enabled and result.handled:
+                # Completed FastIO calls carry their outcome in the result
+                # structure, not the parameter block; copy it so the record
+                # logs the bytes actually transferred.
+                irp_like.status = result.status
+                irp_like.returned = result.returned
+                record = self._record_for(kind_for_fastio(op), irp_like)
+                self.buffer.append(record)
+                spans = self.io.machine.spans
+                if spans.enabled:
+                    spans.mark_recorded(record)
+                if self._perf.enabled:
+                    self._perf_records.add(1)
+            elif not self.enabled and result.handled and self._perf.enabled:
+                self._perf_dropped.add(1)
+            return result
+        finally:
+            if prof_on:
+                profiler.exit()
 
     # ------------------------------------------------------------------ #
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.clock import ticks_from_seconds
+from repro.nt.flight.log import MetricsSection
 from repro.nt.fs.nodes import DirectoryNode
 from repro.nt.fs.path import split_path
 from repro.nt.fs.volume import Volume
@@ -66,6 +67,12 @@ class ReplayConfig:
     # Parallel fan-out: None replays machines serially in-process; an int
     # fans out over that many worker processes (0 = one per CPU core).
     workers: Optional[int] = None
+    # Flight-recorder sampling interval (0 = off).  Closed-loop replay
+    # advances the clock only by service time, so samples bunch up at the
+    # drain; open-loop replay preserves pacing and yields a real series.
+    metrics_interval_seconds: float = 0.0
+    # Self-profiling of the replay dispatch hot path (off by default).
+    profile_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -84,6 +91,8 @@ class ReplayedMachine:
     outcome: ReplayOutcome
     counters: dict = field(default_factory=dict)
     perf: dict = field(default_factory=dict)
+    metrics: Optional[MetricsSection] = None
+    profile: dict = field(default_factory=dict)
 
 
 def _category_of(machine_name: str) -> str:
@@ -163,6 +172,8 @@ def build_replay_machine(source: TraceCollector, index: int,
         perf_enabled=config.perf_enabled,
         fastio_decline_probability=0.0,
         lazy_writer_enabled=False,
+        metrics_interval_seconds=config.metrics_interval_seconds,
+        profile_enabled=config.profile_enabled,
     )
     machine = Machine(machine_config)
     machine.deliver_change_notifications = False
@@ -213,4 +224,8 @@ def replay_collector(source: TraceCollector, index: int = 0,
         index=index, name=source.machine_name,
         category=_category_of(source.machine_name),
         collector=machine.collector, outcome=outcome,
-        counters=dict(machine.counters), perf=perf.snapshot())
+        counters=dict(machine.counters), perf=perf.snapshot(),
+        metrics=(machine.flight.section()
+                 if machine.flight is not None else None),
+        profile=(machine.profiler.snapshot()
+                 if machine.profiler.enabled else {}))

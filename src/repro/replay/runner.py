@@ -65,6 +65,16 @@ class ReplayResult:
         return {m.name: m.perf for m in self.machines}
 
     @property
+    def metrics_sections(self) -> list:
+        """Flight-recorder sections in machine order (absent ones skipped)."""
+        return [m.metrics for m in self.machines if m.metrics is not None]
+
+    @property
+    def profiles(self) -> dict[str, dict]:
+        """Per-machine hot-path profiler snapshots (empty when disabled)."""
+        return {m.name: m.profile for m in self.machines if m.profile}
+
+    @property
     def total_replayed(self) -> int:
         return sum(m.outcome.replayed_records for m in self.machines)
 
@@ -98,6 +108,8 @@ def _replay_task(task: ReplayTask, events_queue=None) -> dict:
         "outcome": replayed.outcome.to_dict(),
         "counters": dict(replayed.counters),
         "perf": replayed.perf,
+        "metrics": replayed.metrics,
+        "profile": replayed.profile,
     }
 
 
@@ -109,7 +121,9 @@ def _machine_from_payload(payload: dict) -> ReplayedMachine:
         collector=unpack_collector(payload["collector"]),
         outcome=ReplayOutcome.from_dict(payload["outcome"]),
         counters=payload["counters"],
-        perf=payload["perf"])
+        perf=payload["perf"],
+        metrics=payload["metrics"],
+        profile=payload["profile"])
 
 
 def replay_archive(directory: Path | str,

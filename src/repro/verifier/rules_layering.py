@@ -7,9 +7,10 @@ consume what the trace agent wrote, never reach into live kernel state.
 
 * **L501** — ``repro.analysis``/``repro.stats`` importing ``repro.nt``
   outside the tracing read-side whitelist (``records``, ``store``,
-  ``spans``, ``collector``, ``snapshot``).  Everything an analysis
-  needs must be decodable from the archive; anything else couples the
-  paper's figures to simulator internals.
+  ``spans``, ``collector``, ``snapshot``, plus the flight recorder's
+  ``flight.log`` decoder).  Everything an analysis needs must be
+  decodable from the archive; anything else couples the paper's
+  figures to simulator internals.
 * **L502** — ``repro.nt`` importing an upper layer
   (``repro.workload``/``repro.analysis``/``repro.replay``/
   ``repro.cli``/``repro.verifier``): the kernel must not know who
@@ -40,6 +41,8 @@ READ_SIDE_WHITELIST: Tuple[str, ...] = (
     "repro.nt.tracing.spans",
     "repro.nt.tracing.collector",
     "repro.nt.tracing.snapshot",
+    # The .ntmetrics decoder: pure stdlib framing, no live kernel state.
+    "repro.nt.flight.log",
 )
 
 _ANALYSIS_PREFIXES = ("repro.analysis", "repro.stats")

@@ -128,6 +128,8 @@ def _simulate_task(task: MachineTask, events_queue=None) -> dict:
         "collector": pack_collector(artifact.collector),
         "counters": artifact.counters,
         "perf": artifact.perf,
+        "metrics": artifact.metrics,
+        "profile": artifact.profile,
     }
     if task.fault == "unpicklable-result":
         payload["poison"] = lambda: None
@@ -205,7 +207,9 @@ def run_tasks(tasks: list[MachineTask], n_workers: int,
         category=payload["category"],
         collector=unpack_collector(payload["collector"]),
         counters=payload["counters"],
-        perf=payload["perf"]) for payload in payloads]
+        perf=payload["perf"],
+        metrics=payload["metrics"],
+        profile=payload["profile"]) for payload in payloads]
 
 
 def run_study_parallel(config: StudyConfig,

@@ -35,6 +35,7 @@ from typing import Iterator, Mapping, Optional, Sequence, TextIO
 import numpy as np
 
 from repro.common.clock import TICKS_PER_SECOND, ticks_from_seconds
+from repro.nt.flight.log import MetricsSection
 from repro.nt.fs.disk import SCSI_ULTRA2_DISK
 from repro.nt.fs.volume import Volume
 from repro.nt.tracing.collector import TraceCollector
@@ -84,6 +85,15 @@ class StudyConfig:
     # --verifier): protocol assertions on every dispatched packet.
     # Archives stay byte-identical with it on or off.
     verifier_enabled: bool = False
+    # Flight recorder (repro.nt.flight / CLI --metrics): sample every
+    # perf series into fixed simulated-time interval buckets for the
+    # metrics.ntmetrics sidecar.  0.0 disables; archives stay
+    # byte-identical with it on or off.
+    metrics_interval_seconds: float = 0.0
+    # Host-side hot-path self-profiler (repro.nt.flight.profiler / CLI
+    # --profile).  Wall-clock bins ride telemetry only — they never
+    # enter archives or perf.json.
+    profile_enabled: bool = False
 
 
 @dataclass
@@ -96,6 +106,12 @@ class StudyResult:
     counters: dict[str, dict[str, int]] = field(default_factory=dict)
     # Per-machine PerfRegistry snapshots (see repro.nt.perf).
     perf: dict[str, dict] = field(default_factory=dict)
+    # Per-machine flight-recorder sections (repro.nt.flight), in machine
+    # order; empty unless the study ran with metrics_interval_seconds.
+    metrics: list[MetricsSection] = field(default_factory=list)
+    # Per-machine hot-path profiler bins (host wall clock — telemetry
+    # only, never part of archives or perf.json).
+    profiles: dict[str, dict] = field(default_factory=dict)
 
     @property
     def total_records(self) -> int:
@@ -358,6 +374,10 @@ class MachineArtifact:
     collector: TraceCollector
     counters: dict[str, int]
     perf: dict
+    # Flight-recorder section (None unless the study enabled --metrics).
+    metrics: Optional[MetricsSection] = None
+    # Hot-path profiler bins (empty unless the study enabled --profile).
+    profile: dict = field(default_factory=dict)
 
 
 def simulate_machine(config: StudyConfig, index: int, category_name: str,
@@ -377,7 +397,10 @@ def simulate_machine(config: StudyConfig, index: int, category_name: str,
     built = build_machine(name, category_name, seed,
                           content_scale=config.content_scale,
                           spans_enabled=config.spans_enabled,
-                          verifier_enabled=config.verifier_enabled)
+                          verifier_enabled=config.verifier_enabled,
+                          metrics_interval_seconds=(
+                              config.metrics_interval_seconds),
+                          profile_enabled=config.profile_enabled)
     machine = built.machine
     if config.with_network_shares:
         share = Volume(label=f"srv-{built.username}",
@@ -413,10 +436,15 @@ def simulate_machine(config: StudyConfig, index: int, category_name: str,
             records=len(machine.collector.records),
             sim_seconds=config.duration_seconds,
             wall_seconds=time.perf_counter() - wall_started)
-    return MachineArtifact(index=index, name=name, category=category_name,
-                           collector=machine.collector,
-                           counters=dict(machine.counters),
-                           perf=machine.perf.snapshot())
+    return MachineArtifact(
+        index=index, name=name, category=category_name,
+        collector=machine.collector,
+        counters=dict(machine.counters),
+        perf=machine.perf.snapshot(),
+        metrics=(machine.flight.section()
+                 if machine.flight is not None else None),
+        profile=(machine.profiler.snapshot()
+                 if machine.profiler.enabled else {}))
 
 
 def merge_artifacts(artifacts: Sequence[MachineArtifact],
@@ -439,7 +467,9 @@ def merge_artifacts(artifacts: Sequence[MachineArtifact],
         machine_categories={a.name: a.category for a in ordered},
         duration_ticks=duration_ticks,
         counters={a.name: dict(a.counters) for a in ordered},
-        perf={a.name: a.perf for a in ordered})
+        perf={a.name: a.perf for a in ordered},
+        metrics=[a.metrics for a in ordered if a.metrics is not None],
+        profiles={a.name: a.profile for a in ordered if a.profile})
 
 
 def run_study(config: StudyConfig,

@@ -104,7 +104,9 @@ def build_machine(name: str, category_name: str, seed: int,
                   content_scale: float = 0.2,
                   username: str | None = None,
                   spans_enabled: bool = False,
-                  verifier_enabled: bool = False) -> BuiltMachine:
+                  verifier_enabled: bool = False,
+                  metrics_interval_seconds: float = 0.0,
+                  profile_enabled: bool = False) -> BuiltMachine:
     """Construct one traced machine of the given category with content."""
     category = CATEGORY_PROFILES[category_name]
     seeder = np.random.default_rng(seed)
@@ -122,6 +124,8 @@ def build_machine(name: str, category_name: str, seed: int,
         seed=seed,
         spans_enabled=spans_enabled,
         verifier_enabled=verifier_enabled,
+        metrics_interval_seconds=metrics_interval_seconds,
+        profile_enabled=profile_enabled,
     )
     machine = Machine(config)
     volume = Volume(

@@ -26,6 +26,7 @@ from repro.nt.perf import (
     LatencyHistogram,
     N_BUCKETS,
     PerfRegistry,
+    PerfSchemaError,
     format_perf_table,
     load_perf_json,
     merge_snapshots,
@@ -136,6 +137,36 @@ class TestRegistry:
         assert "Counter" in text and "io.ops" in text
         assert "Gauge" in text and "replay.divergences" in text and "70" in text
         assert "Latency histogram" in text and "io.lat" in text
+
+    def test_merge_rejects_kind_mismatch(self):
+        a, b = PerfRegistry("a"), PerfRegistry("b")
+        a.count("x", 1)
+        b.gauge("x").set(2)
+        with pytest.raises(PerfSchemaError, match="'x' is a counter in one"
+                                                  " snapshot and a gauge"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_rejects_histogram_bucket_mismatch(self):
+        import copy
+        a = PerfRegistry("a")
+        a.observe("lat", 5)
+        snap_a = a.snapshot()
+        snap_b = copy.deepcopy(snap_a)
+        snap_b["histograms"]["lat"]["bucket_counts"].append(0)
+        with pytest.raises(PerfSchemaError, match="buckets"):
+            merge_snapshots([snap_a, snap_b])
+
+    def test_zero_sample_histogram_renders_dashes(self):
+        # A hand-edited or synthesized snapshot can carry a zero-count
+        # histogram; the quantile columns must show '-', not a misleading
+        # p50 of 0.
+        snap = {"counters": {}, "histograms": {"lat": {
+            "count": 0, "sum_ticks": 0, "max_ticks": 0,
+            "bucket_counts": [0] * (N_BUCKETS + 1)}}}
+        text = format_perf_table(snap)
+        line = next(ln for ln in text.splitlines() if "lat" in ln)
+        assert line.count("-") >= 5
+        assert "nan" not in line
 
     def test_untouched_gauge_omitted_from_snapshot(self):
         reg = PerfRegistry("m")

@@ -245,6 +245,24 @@ def test_l501_allows_tracing_read_side(tmp_path):
     assert "L501" not in _rules_of(findings)
 
 
+def test_l501_allows_flight_log_decoder(tmp_path):
+    # The .ntmetrics decoder is read-side: pure stdlib framing over what
+    # the flight recorder archived, no live kernel state.
+    findings = _findings_for(tmp_path, {"repro/analysis/ok.py": """\
+        from repro.nt.flight.log import iter_samples
+        """})
+    assert "L501" not in _rules_of(findings)
+
+
+def test_l501_still_catches_flight_recorder_import(tmp_path):
+    # Only the log decoder is whitelisted — the recorder and profiler
+    # are live kernel state and stay off-limits to analysis code.
+    findings = _findings_for(tmp_path, {"repro/analysis/bad.py": """\
+        from repro.nt.flight.recorder import FlightRecorder
+        """})
+    assert "L501" in _rules_of(findings)
+
+
 def test_l501_exempts_type_checking_imports(tmp_path):
     findings = _findings_for(tmp_path, {"repro/analysis/ok.py": """\
         from typing import TYPE_CHECKING
