@@ -101,6 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           " the per-subsystem wall-clock table")
     run.add_argument("--progress", action="store_true",
                      help="emit per-machine telemetry lines to stderr")
+    run.add_argument("--no-batched-dispatch", dest="batched_dispatch",
+                     action="store_false",
+                     help="disable the batched hot-path dispatch tables and"
+                          " columnar record buffer; archives, perf.json,"
+                          " metrics and span logs are byte-identical either"
+                          " way (this flag exists for differential testing"
+                          " and bisection)")
     _add_workers_option(run)
 
     report = sub.add_parser("report", help="print the paper's tables")
@@ -164,6 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", type=Path, default=None,
                          help="write the throughput baseline here (the CI"
                               " BENCH_throughput baseline)")
+    profile.add_argument("--no-batched-dispatch", dest="batched_dispatch",
+                         action="store_false",
+                         help="profile the unbatched dispatch path (for"
+                              " before/after throughput comparison)")
     _add_workers_option(profile)
 
     replay = sub.add_parser(
@@ -295,7 +306,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         verifier_enabled=args.verifier,
         metrics_interval_seconds=(DEFAULT_METRICS_INTERVAL_SECONDS
                                   if args.metrics else 0.0),
-        profile_enabled=args.profile),
+        profile_enabled=args.profile,
+        batched_dispatch=args.batched_dispatch),
         telemetry=telemetry)
     wall_seconds = time.perf_counter() - begin
     print(f"collected {result.total_records} records from "
@@ -534,14 +546,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import json
 
     from repro import StudyConfig, StudyTelemetry, run_study
-    from repro.nt.flight.profiler import merge_profiles
+    from repro.nt.flight.profiler import (host_calibration_seconds,
+                                          merge_profiles)
 
     telemetry = StudyTelemetry()
     with telemetry.phase("simulate"):
         result = run_study(StudyConfig(
             n_machines=args.machines, duration_seconds=args.seconds,
             seed=args.seed, content_scale=args.scale,
-            workers=args.workers, profile_enabled=True),
+            workers=args.workers, profile_enabled=True,
+            batched_dispatch=args.batched_dispatch),
             telemetry=telemetry)
     wall_seconds = telemetry.phase_seconds["simulate"]
     _print_profile(result.profiles, result.total_records, wall_seconds)
@@ -551,6 +565,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         merged = merge_profiles(result.profiles.values())
         records_per_second = (result.total_records / wall_seconds
                               if wall_seconds else float("nan"))
+        workers = (None if args.workers is None
+                   else resolve_workers(args.workers, args.machines))
         payload = {
             "format": "nt-throughput-1",
             "machines": args.machines,
@@ -559,9 +575,25 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "records": result.total_records,
             "wall_seconds": wall_seconds,
             "records_per_second": records_per_second,
-            "workers": (None if args.workers is None
-                        else resolve_workers(args.workers, args.machines)),
+            "workers": workers,
+            "calibration_seconds": host_calibration_seconds(),
             "bins": merged,
+            # Everything under "deterministic" is a pure function of the
+            # study parameters — no wall-clock, no host speed.  Two runs
+            # with the same parameters must produce identical blocks
+            # (tests/test_throughput_gate.py asserts this), which is what
+            # lets the CI gate distinguish "the simulator changed" from
+            # "the runner was slow".
+            "deterministic": {
+                "machines": args.machines,
+                "seconds": args.seconds,
+                "seed": args.seed,
+                "scale": args.scale,
+                "batched_dispatch": args.batched_dispatch,
+                "records": result.total_records,
+                "bin_calls": {name: data["calls"]
+                              for name, data in merged.items()},
+            },
         }
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(

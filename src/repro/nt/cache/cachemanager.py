@@ -137,8 +137,21 @@ class CacheManager:
         self._perf_ra_consumed = perf.counter("cc.readahead.pages_consumed")
         self._perf_flush_pages = perf.counter("cc.flush.pages")
         self._perf_evicted = perf.counter("cc.pages_evicted")
-        # LRU over resident pages: (map_id, page) -> map.
-        self._lru: "OrderedDict[tuple[int, int], SharedCacheMap]" = OrderedDict()
+        # Resident pages, split NT-style (§3.3) into two recency lists
+        # keyed by (map_id, page):
+        #   * the *standby* list holds clean pages in LRU order — the only
+        #     eviction candidates, shed from the cold end in O(1);
+        #   * the *modified* list holds dirty pages, which are never
+        #     evicted; when a flush cleans them they re-enter the standby
+        #     list at the young end (the second chance NT's modified page
+        #     writer gives freshly written pages).
+        # The split keeps eviction from ever scanning past dirty pages —
+        # the single-list rotation scan this replaces was the simulator's
+        # dominant host cost under write-heavy workloads.
+        self._standby: "OrderedDict[tuple[int, int], SharedCacheMap]" = \
+            OrderedDict()
+        self._modified: "OrderedDict[tuple[int, int], SharedCacheMap]" = \
+            OrderedDict()
         # Allocator for SharedCacheMap.map_id (1-based, never reused).
         self._next_map_id = 1
         # Maps with dirty pages, for the lazy writer's scans.  A dict used
@@ -208,7 +221,7 @@ class CacheManager:
                 # discarded rather than flushed (§6.3's persistency saving).
                 machine.counters["cc.dirty_discarded_on_cleanup"] += len(cmap.dirty)
                 for page in sorted(cmap.dirty):
-                    self._lru.pop((cmap.map_id, page), None)
+                    self._modified.pop((cmap.map_id, page), None)
                     cmap.pages.discard(page)
                 cmap.dirty.clear()
                 self.dirty_maps.pop(cmap, None)
@@ -343,15 +356,24 @@ class CacheManager:
                 machine.mm.page_in(cmap, page_start, PAGE_SIZE,
                                    background=False)
                 self._mark_resident(cmap, page_start, PAGE_SIZE)
+        standby = self._standby
+        modified = self._modified
+        map_id = cmap.map_id
+        pages_set = cmap.pages
+        dirty = cmap.dirty
         for page in pages:
-            cmap.pages.add(page)
-            cmap.dirty.add(page)
-            self._lru[(cmap.map_id, page)] = cmap
-            self._lru.move_to_end((cmap.map_id, page))
+            key = (map_id, page)
+            pages_set.add(page)
+            dirty.add(page)
+            standby.pop(key, None)
+            if key in modified:
+                modified.move_to_end(key)
+            else:
+                modified[key] = cmap
+        self.dirty_maps.setdefault(cmap)
         self._evict_if_needed()
         node.valid_data_length = max(node.valid_data_length, offset + length)
         cmap.written_pending_eof = True
-        self.dirty_maps.setdefault(cmap)
         machine.counters["cc.cached_writes"] += 1
         if self._perf.enabled:
             self._perf_writes.add(1)
@@ -371,13 +393,12 @@ class CacheManager:
             self.machine.mm.page_out(cmap, run_offset, run_length,
                                      background=background)
             flushed += len(page_span(run_offset, run_length))
-        cmap.dirty.clear()
-        self.dirty_maps.pop(cmap, None)
+        self.note_cleaned(cmap, sorted(cmap.dirty))
         self.machine.counters["cc.pages_flushed"] += flushed
         if self._perf.enabled:
             self._perf_flush_pages.add(flushed)
         # Dirty pages pinned the cache above budget; now they are clean
-        # the LRU can shed them.
+        # the standby list can shed them.
         self._evict_if_needed()
         return flushed
 
@@ -389,13 +410,10 @@ class CacheManager:
         target = [p for p in page_span(offset, length) if p in cmap.dirty]
         if not target:
             return 0
-        for page in target:
-            cmap.dirty.discard(page)
+        self.note_cleaned(cmap, target)
         self.machine.mm.page_out(cmap, target[0] * PAGE_SIZE,
                                  (target[-1] - target[0] + 1) * PAGE_SIZE,
                                  background=False)
-        if not cmap.dirty:
-            self.dirty_maps.pop(cmap, None)
         self.machine.counters["cc.pages_flushed"] += len(target)
         if self._perf.enabled:
             self._perf_flush_pages.add(len(target))
@@ -417,10 +435,13 @@ class CacheManager:
         for page in doomed:
             cmap.pages.discard(page)
             cmap.ra_pages.discard(page)
+            key = (cmap.map_id, page)
             if page in cmap.dirty:
                 cmap.dirty.discard(page)
                 dirty_dropped += 1
-            self._lru.pop((cmap.map_id, page), None)
+                self._modified.pop(key, None)
+            else:
+                self._standby.pop(key, None)
         if dirty_dropped:
             self.machine.counters["cc.dirty_purged_on_truncate"] += dirty_dropped
         if not cmap.dirty:
@@ -434,7 +455,9 @@ class CacheManager:
             return 0
         dirty_dropped = len(cmap.dirty)
         for page in sorted(cmap.pages):
-            self._lru.pop((cmap.map_id, page), None)
+            key = (cmap.map_id, page)
+            self._standby.pop(key, None)
+            self._modified.pop(key, None)
         cmap.pages.clear()
         cmap.dirty.clear()
         cmap.ra_pages.clear()
@@ -453,10 +476,26 @@ class CacheManager:
 
     def _mark_resident(self, cmap: SharedCacheMap, offset: int,
                        length: int) -> None:
+        standby = self._standby
+        modified = self._modified
+        map_id = cmap.map_id
+        pages_set = cmap.pages
+        dirty = cmap.dirty
         for page in page_span(offset, length):
-            cmap.pages.add(page)
-            self._lru[(cmap.map_id, page)] = cmap
-            self._lru.move_to_end((cmap.map_id, page))
+            key = (map_id, page)
+            pages_set.add(page)
+            # A fault-in range rounded up to the read-ahead granularity can
+            # cover pages that are already resident and dirty; those take
+            # their recency on the modified list.
+            if page in dirty:
+                if key in modified:
+                    modified.move_to_end(key)
+                else:
+                    modified[key] = cmap
+            elif key in standby:
+                standby.move_to_end(key)
+            else:
+                standby[key] = cmap
         self._evict_if_needed()
 
     def _issue_read_ahead(self, cmap: SharedCacheMap, fo: FileObject,
@@ -488,22 +527,44 @@ class CacheManager:
             self._perf_ra_pages.add(len(wanted))
             cmap.ra_pages.update(wanted)
 
+    def note_cleaned(self, cmap: SharedCacheMap, pages) -> None:
+        """Move flushed pages off the dirty set onto the standby list.
+
+        The young-end placement is the second chance NT's modified page
+        writer gives freshly written pages; callers pass ``pages`` in
+        ascending page order so the placement is deterministic.
+        """
+        standby = self._standby
+        modified = self._modified
+        dirty = cmap.dirty
+        map_id = cmap.map_id
+        for page in pages:
+            dirty.discard(page)
+            key = (map_id, page)
+            entry = modified.pop(key, None)
+            if entry is not None:
+                standby[key] = entry
+        if not dirty:
+            self.dirty_maps.pop(cmap, None)
+
     def _evict_if_needed(self) -> None:
-        attempts = 0
-        max_attempts = len(self._lru)
-        while len(self._lru) > self.capacity_pages and attempts < max_attempts:
-            attempts += 1
-            key, cmap = self._lru.popitem(last=False)
-            page = key[1]
-            if page in cmap.dirty:
-                # Dirty pages cannot be evicted; recycle to the hot end.
-                self._lru[key] = cmap
-                continue
+        standby = self._standby
+        excess = len(standby) + len(self._modified) - self.capacity_pages
+        if excess <= 0 or not standby:
+            # Dirty pages alone may pin the cache above budget; they are
+            # never evicted (the lazy writer cleans them first).
+            return
+        evicted = 0
+        popitem = standby.popitem
+        while excess > 0 and standby:
+            (_map_id, page), cmap = popitem(last=False)
             cmap.pages.discard(page)
             cmap.ra_pages.discard(page)
-            self.machine.counters["cc.pages_evicted"] += 1
-            if self._perf.enabled:
-                self._perf_evicted.add(1)
+            excess -= 1
+            evicted += 1
+        self.machine.counters["cc.pages_evicted"] += evicted
+        if self._perf.enabled:
+            self._perf_evicted.add(evicted)
 
     def shed_excess(self) -> None:
         """Evict down to budget (for callers that just cleaned pages)."""
@@ -512,4 +573,4 @@ class CacheManager:
     @property
     def resident_pages(self) -> int:
         """Pages currently held in the cache (for tests and introspection)."""
-        return len(self._lru)
+        return len(self._standby) + len(self._modified)

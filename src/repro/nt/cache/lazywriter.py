@@ -141,14 +141,11 @@ class LazyWriter:
             if not pages:
                 continue
             machine.mm.page_out(cmap, run_offset, run_length, background=True)
-            for page in pages:
-                cmap.dirty.discard(page)
+            machine.cc.note_cleaned(cmap, pages)
             written += len(pages)
             if self._perf.enabled:
                 self._perf_flush_runs.add(1)
                 self._perf_bytes.add(run_length)
-        if not cmap.dirty:
-            machine.cc.dirty_maps.pop(cmap, None)
         machine.cc.shed_excess()
         if span is not None:
             spans.end(span)

@@ -29,6 +29,10 @@ BIN_COPY_READ = "cc.copy_read"
 BIN_COPY_WRITE = "cc.copy_write"
 BIN_LAZY_WRITER = "lw.scan"
 
+_KNOWN_BINS = (BIN_IRP_DISPATCH, BIN_FASTIO, BIN_TRACE_FILTER,
+               BIN_FS_DRIVER, BIN_REDIRECTOR, BIN_COPY_READ,
+               BIN_COPY_WRITE, BIN_LAZY_WRITER)
+
 
 class HotPathProfiler:
     """Exclusive wall-clock time per subsystem bin.
@@ -45,8 +49,11 @@ class HotPathProfiler:
         self.enabled = enabled
         # Open frames: [bin name, start, child elapsed] (mutable).
         self._stack: list[list] = []
-        self._exclusive: dict[str, float] = {}
-        self._calls: dict[str, int] = {}
+        # Pre-seeded with the known bins so exit() is a straight +=
+        # rather than two dict.get calls per frame; snapshot() filters
+        # never-entered bins back out.
+        self._exclusive: dict[str, float] = {n: 0.0 for n in _KNOWN_BINS}
+        self._calls: dict[str, int] = {n: 0 for n in _KNOWN_BINS}
 
     def enter(self, bin_name: str) -> None:
         self._stack.append([bin_name, perf_counter(), 0.0])
@@ -54,17 +61,43 @@ class HotPathProfiler:
     def exit(self) -> None:
         bin_name, started, child = self._stack.pop()
         elapsed = perf_counter() - started
-        self._exclusive[bin_name] = \
-            self._exclusive.get(bin_name, 0.0) + (elapsed - child)
-        self._calls[bin_name] = self._calls.get(bin_name, 0) + 1
-        if self._stack:
-            self._stack[-1][2] += elapsed
+        try:
+            self._exclusive[bin_name] += elapsed - child
+        except KeyError:  # an ad-hoc bin outside the known set
+            self._exclusive[bin_name] = elapsed - child
+            self._calls[bin_name] = 0
+        self._calls[bin_name] += 1
+        stack = self._stack
+        if stack:
+            stack[-1][2] += elapsed
 
     def snapshot(self) -> dict:
         """Plain-dict bins, mergeable and picklable across workers."""
         return {name: {"calls": self._calls[name],
                        "exclusive_seconds": self._exclusive[name]}
-                for name in sorted(self._exclusive)}
+                for name in sorted(self._exclusive)
+                if self._calls[name]}
+
+
+def host_calibration_seconds(repeats: int = 5) -> float:
+    """Best-of-``repeats`` seconds for a fixed pure-Python workload.
+
+    The throughput baseline records this next to records/sec so the CI
+    gate can rescale a committed baseline to the host it runs on: only
+    the ratio of measured throughput to calibrated host speed matters,
+    never the absolute numbers, which keeps the regression band from
+    tripping on a slower (or faster) runner.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        begin = perf_counter()
+        acc = 0
+        table = {}
+        for i in range(100_000):
+            acc += i & 1023
+            table[i & 511] = acc
+        best = min(best, perf_counter() - begin)
+    return best
 
 
 def merge_profiles(snapshots) -> dict:

@@ -12,6 +12,10 @@ from typing import Iterator, Optional
 from repro.common.flags import FileAttributes
 from repro.nt.fs.path import casefold_component, extension_of
 
+# Attribute test masks folded to plain ints once at import time.
+_DIRECTORY_MASK = int(FileAttributes.DIRECTORY)
+_TEMPORARY_MASK = int(FileAttributes.TEMPORARY)
+
 
 class Node:
     """Common state of files and directories."""
@@ -42,7 +46,9 @@ class Node:
 
     @property
     def is_directory(self) -> bool:
-        return bool(self.attributes & FileAttributes.DIRECTORY)
+        # int() both sides: a plain-int & skips IntFlag.__and__'s member
+        # re-resolution, which dominates this hot property otherwise.
+        return bool(int(self.attributes) & _DIRECTORY_MASK)
 
     @property
     def extension(self) -> str:
@@ -90,7 +96,7 @@ class FileNode(Node):
 
     @property
     def is_temporary(self) -> bool:
-        return bool(self.attributes & FileAttributes.TEMPORARY)
+        return bool(int(self.attributes) & _TEMPORARY_MASK)
 
 
 class DirectoryNode(Node):

@@ -14,6 +14,9 @@ from repro.common.flags import FileAccess, ShareMode
 _READ_BITS = int(FileAccess.READ_DATA)
 _WRITE_BITS = int(FileAccess.WRITE_DATA | FileAccess.APPEND_DATA)
 _DELETE_BITS = int(FileAccess.DELETE)
+_SHARE_READ = int(ShareMode.READ)
+_SHARE_WRITE = int(ShareMode.WRITE)
+_SHARE_DELETE = int(ShareMode.DELETE)
 
 
 def _wants(access: int) -> tuple[bool, bool, bool]:
@@ -22,8 +25,11 @@ def _wants(access: int) -> tuple[bool, bool, bool]:
 
 
 def _shares(share: int) -> tuple[bool, bool, bool]:
-    return (bool(share & ShareMode.READ), bool(share & ShareMode.WRITE),
-            bool(share & ShareMode.DELETE))
+    # Plain-int masks: an IntFlag right operand would pull the & through
+    # IntFlag.__rand__'s member re-resolution (hot on every create).
+    share = int(share)
+    return (bool(share & _SHARE_READ), bool(share & _SHARE_WRITE),
+            bool(share & _SHARE_DELETE))
 
 
 def sharing_permits(existing: list[tuple[int, int]], access: int,

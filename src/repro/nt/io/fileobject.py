@@ -46,7 +46,9 @@ class FileObject:
         self.path = path
         self.volume = volume
         self.node: Optional["FileNode"] = None
-        self.flags = FileObjectFlags.NONE
+        # Plain int (see Irp.flags): int.__and__ keeps per-request flag
+        # tests off the IntFlag member-resolution path.
+        self.flags = int(FileObjectFlags.NONE)
         self.granted_access = FileAccess.NONE
         self.share_mode = ShareMode.ALL
         self.current_byte_offset = 0
@@ -68,10 +70,13 @@ class FileObject:
         return self.private_cache_map is not None
 
     def has_flag(self, flag: FileObjectFlags) -> bool:
-        return bool(self.flags & flag)
+        # int(flag) keeps the & on two plain ints; with an IntFlag operand
+        # the subclass-priority rule routes even int & IntFlag through
+        # IntFlag.__rand__'s member re-resolution.
+        return bool(self.flags & int(flag))
 
     def set_flag(self, flag: FileObjectFlags) -> None:
-        self.flags |= flag
+        self.flags |= int(flag)
 
     def reference(self) -> int:
         """Take a reference (cache manager / VM manager)."""

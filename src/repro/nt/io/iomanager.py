@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.common.clock import ticks_from_micros
 from repro.common.flags import FileObjectFlags, IrpFlags
 from repro.common.status import NtStatus
 from repro.nt.flight.profiler import BIN_FASTIO, BIN_IRP_DISPATCH
@@ -40,6 +41,19 @@ class IoManager:
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
+        config = machine.config
+        # Batched mode re-uses the FastIO parameter block as the fallback
+        # IRP when a driver declines (every record-relevant field is
+        # rewritten, so archives are identical).  The runtime verifier
+        # counts dispatches per packet, so reuse stays off under it.
+        self._reuse_declined_irp = (config.batched_dispatch
+                                    and not config.verifier_enabled)
+        # Dispatch CPU charges in ticks, pre-scaled to this machine's
+        # clock rate (the same int(round(...)) Machine.charge_cpu does).
+        self._irp_dispatch_ticks = ticks_from_micros(
+            _IRP_DISPATCH_MICROS * machine.cpu_scale)
+        self._fastio_dispatch_ticks = ticks_from_micros(
+            _FASTIO_DISPATCH_MICROS * machine.cpu_scale)
         self._next_fo_id = 1
         # Volume label -> top of its device stack (the trace filter).
         self._stacks: dict[str, DeviceObject] = {}
@@ -149,7 +163,7 @@ class IoManager:
             if verifier.enabled:
                 verifier.before_dispatch(irp)
             irp.t_start = clock.now
-            machine.charge_cpu(_IRP_DISPATCH_MICROS)
+            clock.advance(self._irp_dispatch_ticks)
             status = top.driver.dispatch(irp, top)
             irp.t_complete = clock.now
             if verifier.enabled:
@@ -181,7 +195,7 @@ class IoManager:
             spans = machine.spans
             span = spans.begin_fastio(op, irp_like) if spans.enabled else None
             irp_like.t_start = clock.now
-            machine.charge_cpu(_FASTIO_DISPATCH_MICROS)
+            clock.advance(self._fastio_dispatch_ticks)
             result = top.driver.fastio(op, irp_like, top)
             irp_like.t_complete = clock.now
             if machine.verifier.enabled:
@@ -209,29 +223,40 @@ class IoManager:
     def read(self, fo: FileObject, offset: int, length: int,
              process_id: int) -> tuple[NtStatus, int]:
         """NtReadFile: FastIO when caching is initialised, else the IRP path."""
+        irp = None
         if self._fastio_eligible(fo):
-            irp_like = Irp(IrpMajor.READ, fo, process_id,
-                           offset=offset, length=length)
-            result = self.try_fastio(FastIoOp.READ, irp_like)
+            irp = Irp(IrpMajor.READ, fo, process_id,
+                      offset=offset, length=length)
+            result = self.try_fastio(FastIoOp.READ, irp)
             if result.handled:
                 return result.status, result.returned
-        irp = Irp(IrpMajor.READ, fo, process_id, offset=offset, length=length)
+            if not self._reuse_declined_irp:
+                irp = None
+        if irp is None:
+            irp = Irp(IrpMajor.READ, fo, process_id,
+                      offset=offset, length=length)
         status = self.send_irp(irp)
         return status, irp.returned
 
     def write(self, fo: FileObject, offset: int, length: int,
               process_id: int) -> tuple[NtStatus, int]:
         """NtWriteFile: FastIO when caching is initialised, else the IRP path."""
+        irp = None
         if self._fastio_eligible(fo):
-            irp_like = Irp(IrpMajor.WRITE, fo, process_id,
-                           offset=offset, length=length)
-            result = self.try_fastio(FastIoOp.WRITE, irp_like)
+            irp = Irp(IrpMajor.WRITE, fo, process_id,
+                      offset=offset, length=length)
+            result = self.try_fastio(FastIoOp.WRITE, irp)
             if result.handled:
                 return result.status, result.returned
-        flags = IrpFlags.WRITE_THROUGH if fo.has_flag(FileObjectFlags.WRITE_THROUGH) \
-            else IrpFlags.NONE
-        irp = Irp(IrpMajor.WRITE, fo, process_id, flags=flags,
-                  offset=offset, length=length)
+            if not self._reuse_declined_irp:
+                irp = None
+        write_through = fo.has_flag(FileObjectFlags.WRITE_THROUGH)
+        if irp is None:
+            flags = IrpFlags.WRITE_THROUGH if write_through else IrpFlags.NONE
+            irp = Irp(IrpMajor.WRITE, fo, process_id, flags=flags,
+                      offset=offset, length=length)
+        elif write_through:
+            irp.flags = int(IrpFlags.WRITE_THROUGH)
         status = self.send_irp(irp)
         return status, irp.returned
 

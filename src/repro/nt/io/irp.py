@@ -97,6 +97,10 @@ class FsControlCode(enum.IntEnum):
     SET_COMPRESSION = 0x9C040
 
 
+# PagingIO test mask, folded to a plain int once at import time.
+_PAGING_MASK = int(IrpFlags.PAGING_IO | IrpFlags.SYNCHRONOUS_PAGING_IO)
+
+
 class Irp:
     """One I/O request packet travelling down a device stack."""
 
@@ -147,7 +151,10 @@ class Irp:
         self.major = major
         self.minor = minor
         self.file_object = file_object
-        self.flags = flags
+        # Stored as a plain int: flag tests then go through int.__and__
+        # instead of IntFlag.__and__, which re-resolves members on every
+        # call — a measurable cost on the per-request hot path.
+        self.flags = int(flags)
         self.offset = offset
         self.length = length
         self.returned = 0
@@ -179,7 +186,7 @@ class Irp:
     @property
     def is_paging_io(self) -> bool:
         """True when the VM manager originated this packet (§3.3)."""
-        return bool(self.flags & (IrpFlags.PAGING_IO | IrpFlags.SYNCHRONOUS_PAGING_IO))
+        return bool(self.flags & _PAGING_MASK)
 
     def complete(self, status: NtStatus, returned: int = 0) -> NtStatus:
         """Mark the packet completed (the FS driver's job)."""

@@ -16,7 +16,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.common.clock import SimClock, ticks_from_seconds
+from repro.common.clock import SimClock, ticks_from_micros, ticks_from_seconds
 from repro.nt.cache.cachemanager import CacheManager
 from repro.nt.flight.profiler import HotPathProfiler
 from repro.nt.flight.recorder import FlightRecorder
@@ -90,6 +90,14 @@ class MachineConfig:
     # by default — one attribute check per profiled site — and its
     # wall-clock bins never enter archives or perf.json.
     profile_enabled: bool = False
+    # Batched hot-path dispatch (repro.nt.tracing.fastbuf): stage trace
+    # records as columnar array rows instead of per-record dataclasses,
+    # resolve each stack's IrpMajor->handler table once at mount, and
+    # re-use the FastIO parameter block as the fallback IRP on decline.
+    # Proven byte-identical to the classic path by the differential suite
+    # (tests/test_batched_differential.py), hence on by default; turn off
+    # to run the original per-record object path.
+    batched_dispatch: bool = True
 
 
 class Process:
@@ -193,10 +201,14 @@ class Machine:
 
     def _build_stack(self, volume: Volume, driver) -> DeviceObject:
         fs_device = DeviceObject(driver, volume, f"{volume.label}-fsd")
-        filter_driver = TraceFilterDriver(self.io, self.collector)
+        filter_driver = TraceFilterDriver(
+            self.io, self.collector,
+            batched=self.config.batched_dispatch)
         filter_device = DeviceObject(filter_driver, volume,
                                      f"{volume.label}-filter")
         filter_device.attach_on_top_of(fs_device)
+        if self.config.batched_dispatch:
+            filter_driver.bind_fast_path(fs_device)
         self.io.register_stack(volume, filter_device)
         return filter_device
 
@@ -284,7 +296,6 @@ class Machine:
 
     def charge_cpu(self, micros: float) -> None:
         """Advance the clock by CPU work, scaled to this machine's speed."""
-        from repro.common.clock import ticks_from_micros
         self.clock.advance(ticks_from_micros(micros * self.cpu_scale))
 
     @contextmanager

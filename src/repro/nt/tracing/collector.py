@@ -12,19 +12,31 @@ from typing import Sequence
 
 from typing import TYPE_CHECKING
 
+from repro.nt.tracing.fastbuf import RECORD_FIELDS, records_from_block
 from repro.nt.tracing.records import NameRecord, TraceRecord
 from repro.nt.tracing.snapshot import SnapshotRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from array import array
+
     from repro.nt.tracing.spans import SpanRecord
 
 
 class TraceCollector:
-    """Accumulates one machine's tracing output."""
+    """Accumulates one machine's tracing output.
+
+    Trace records arrive either as dataclass batches (the classic
+    triple-buffer path) or as columnar ``array('q')`` blocks (the batched
+    fast path, :mod:`repro.nt.tracing.fastbuf`).  Blocks are kept staged:
+    the store encoder packs them directly, and :attr:`records`
+    materialises them into dataclasses only when analysis asks.
+    """
 
     def __init__(self, machine_name: str) -> None:
         self.machine_name = machine_name
-        self.records: list[TraceRecord] = []
+        self._records: list[TraceRecord] = []
+        self._blocks: list["array"] = []
+        self._n_staged = 0
         self.name_records: list[NameRecord] = []
         # Causal span log (repro.nt.tracing.spans); empty unless the
         # machine ran with spans enabled.
@@ -38,9 +50,40 @@ class TraceCollector:
         # (label, day) -> snapshot record list.
         self.snapshots: list[tuple[str, int, list[SnapshotRecord]]] = []
 
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All trace records as dataclasses, materialising staged blocks."""
+        if self._blocks:
+            self._materialise()
+        return self._records
+
+    def _materialise(self) -> None:
+        for block in self._blocks:
+            self._records.extend(records_from_block(block))
+        self._blocks.clear()
+        self._n_staged = 0
+
+    def record_chunks(self) -> tuple[list[TraceRecord], list["array"]]:
+        """(materialised records, staged blocks), in record order.
+
+        The store encoder uses this to pack staged blocks directly —
+        without forcing materialisation — so archiving a batched run
+        never allocates per-record dataclasses.
+        """
+        return self._records, self._blocks
+
     def receive(self, batch: Sequence[TraceRecord]) -> None:
         """Accept a flushed trace buffer."""
-        self.records.extend(batch)
+        if self._blocks:
+            # Keep record order if dataclass and columnar deliveries ever
+            # interleave (a machine uses exactly one path in practice).
+            self._materialise()
+        self._records.extend(batch)
+
+    def receive_block(self, block: "array") -> None:
+        """Accept one columnar block from the batched fast path."""
+        self._n_staged += len(block) // RECORD_FIELDS
+        self._blocks.append(block)
 
     def receive_name(self, record: NameRecord) -> None:
         """Accept a file-object name record."""
@@ -61,9 +104,9 @@ class TraceCollector:
         self.snapshots.append((volume_label, when, records))
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records) + self._n_staged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<TraceCollector {self.machine_name}: {len(self.records)} "
+        return (f"<TraceCollector {self.machine_name}: {len(self)} "
                 f"records, {len(self.name_records)} names, "
                 f"{len(self.snapshots)} snapshots>")

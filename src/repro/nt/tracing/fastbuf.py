@@ -1,0 +1,103 @@
+"""Array-backed trace record staging (the batched fast path).
+
+The classic record path allocates one frozen :class:`TraceRecord`
+dataclass per event and buffers it through the paper's triple-buffer
+scheme (:mod:`repro.nt.tracing.buffers`).  At fleet scale that per-record
+allocation dominates the simulator's inner loop, so machines built with
+``MachineConfig.batched_dispatch`` stage records *columnar* instead: each
+record is 15 signed 64-bit fields appended flat into an ``array('q')``
+block.  A full block flushes to the collector, which keeps blocks intact
+until analysis asks for dataclass records (lazy materialisation) or the
+store encoder packs them — on a little-endian host a block's
+``tobytes()`` is byte-for-byte the concatenation of the ``<15q`` structs
+the classic encoder writes, so archives stay byte-identical either way.
+Elsewhere the encoder falls back to per-row struct packing.
+
+Flush boundaries and statistics mirror
+:class:`~repro.nt.tracing.buffers.TripleBuffer` exactly — the same
+3,000-record capacity, flush-on-full, and end-of-run drain — so the
+``trace.buffer_flushes`` counter, ``perf.json``, and the flight
+recorder's ``.ntmetrics`` samples cannot tell the two paths apart.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from typing import Callable, List
+
+from repro.nt.tracing.buffers import BUFFER_CAPACITY
+from repro.nt.tracing.records import TraceRecord
+
+# Fields per trace record; must match records.TraceRecord and the store's
+# ``<15q>`` record struct.
+RECORD_FIELDS = 15
+_RECORD = struct.Struct("<15q")
+
+# array('q').tobytes() equals the concatenated '<15q' packs only on a
+# little-endian host with 8-byte array items; anywhere else pack_block
+# falls back to per-row struct packing.
+NATIVE_FAST_PACK = sys.byteorder == "little" and array("q").itemsize == 8
+
+
+def pack_block(block: array) -> bytes:
+    """Encode one staged block as the store's packed record bytes."""
+    if NATIVE_FAST_PACK:
+        return block.tobytes()
+    out = bytearray()
+    for i in range(0, len(block), RECORD_FIELDS):
+        out += _RECORD.pack(*block[i:i + RECORD_FIELDS])
+    return bytes(out)
+
+
+def records_from_block(block: array) -> List[TraceRecord]:
+    """Materialise a staged block into classic dataclass records."""
+    return [TraceRecord(*block[i:i + RECORD_FIELDS])
+            for i in range(0, len(block), RECORD_FIELDS)]
+
+
+class FastRecordBuffer:
+    """Fixed-capacity columnar record staging feeding a flush callback.
+
+    Statistic-compatible with :class:`TripleBuffer` (``records_seen``,
+    ``rotations``, ``active_fill``, ``drain``), but :meth:`append_row`
+    takes a record's 15 fields as a tuple of ints — no ``TraceRecord``
+    object exists on the hot path.
+    """
+
+    __slots__ = ("capacity", "_flush", "_buf", "_capacity_fields",
+                 "rotations", "records_seen")
+
+    def __init__(self, flush: Callable[[array], None],
+                 capacity: int = BUFFER_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._flush = flush
+        self.capacity = capacity
+        self._capacity_fields = capacity * RECORD_FIELDS
+        self._buf = array("q")
+        self.rotations = 0
+        self.records_seen = 0
+
+    @property
+    def active_fill(self) -> int:
+        """Records in the currently-filling block."""
+        return len(self._buf) // RECORD_FIELDS
+
+    def append_row(self, row: tuple) -> None:
+        """Store one record's fields, flushing on a full block."""
+        buf = self._buf
+        buf.extend(row)
+        self.records_seen += 1
+        if len(buf) >= self._capacity_fields:
+            self.rotations += 1
+            self._buf = array("q")
+            self._flush(buf)
+
+    def drain(self) -> None:
+        """Flush whatever remains (end of a tracing run)."""
+        if self._buf:
+            buf = self._buf
+            self._buf = array("q")
+            self._flush(buf)

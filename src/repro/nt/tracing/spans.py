@@ -243,6 +243,18 @@ class SpanTracer:
         span.flags |= SPAN_RECORDED
         span.nbytes = record.length
 
+    def mark_recorded_length(self, length: int) -> None:
+        """Fast-path twin of :meth:`mark_recorded`.
+
+        The batched filter stages records as columnar rows without ever
+        building a ``TraceRecord``; it passes the row's length field —
+        the same value the record carries — so the span log stays
+        byte-identical to the classic path's.
+        """
+        span = self._stack[-1]
+        span.flags |= SPAN_RECORDED
+        span.nbytes = length
+
     # ------------------------------------------------------------------ #
     # Induced-work annotations (kernel components).
 

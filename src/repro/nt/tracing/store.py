@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import BinaryIO, Union
 
 from repro.nt.tracing.collector import TraceCollector
+from repro.nt.tracing.fastbuf import pack_block
 from repro.nt.tracing.records import NameRecord, TraceRecord
 from repro.nt.tracing.snapshot import SnapshotRecord
 from repro.nt.tracing.spans import SPAN_STRUCT, SpanRecord
@@ -60,13 +61,19 @@ def pack_collector(collector: TraceCollector) -> bytes:
     """
     buf = io.BytesIO()
     _write_str(buf, collector.machine_name)
-    # Trace records.
-    buf.write(struct.pack("<Q", len(collector.records)))
-    for r in collector.records:
+    # Trace records.  Staged columnar blocks (the batched fast path) are
+    # packed directly — on little-endian hosts a straight memory copy —
+    # without materialising dataclasses; the bytes are identical to the
+    # per-record packing below.
+    records, blocks = collector.record_chunks()
+    buf.write(struct.pack("<Q", len(collector)))
+    for r in records:
         buf.write(_RECORD.pack(
             r.kind, r.fo_id, r.pid, r.t_start, r.t_end, r.status,
             r.irp_flags, r.offset, r.length, r.returned, r.file_size,
             r.disposition, r.options, r.attributes, r.info))
+    for block in blocks:
+        buf.write(pack_block(block))
     # Name records.
     buf.write(struct.pack("<Q", len(collector.name_records)))
     for n in collector.name_records:

@@ -94,6 +94,12 @@ class StudyConfig:
     # --profile).  Wall-clock bins ride telemetry only — they never
     # enter archives or perf.json.
     profile_enabled: bool = False
+    # Batched hot-path dispatch (repro.nt.tracing.fastbuf / CLI
+    # --no-batched-dispatch to opt out): precomputed handler tables,
+    # columnar record staging, and declined-FastIO IRP reuse.  Archives,
+    # perf.json, metrics, and span logs stay byte-identical on or off
+    # (proven by tests/test_batched_differential.py).
+    batched_dispatch: bool = True
 
 
 @dataclass
@@ -115,7 +121,7 @@ class StudyResult:
 
     @property
     def total_records(self) -> int:
-        return sum(len(c.records) for c in self.collectors)
+        return sum(len(c) for c in self.collectors)
 
     def perf_aggregate(self) -> dict:
         """Fleet-wide perf snapshot (all machines merged)."""
@@ -400,7 +406,8 @@ def simulate_machine(config: StudyConfig, index: int, category_name: str,
                           verifier_enabled=config.verifier_enabled,
                           metrics_interval_seconds=(
                               config.metrics_interval_seconds),
-                          profile_enabled=config.profile_enabled)
+                          profile_enabled=config.profile_enabled,
+                          batched_dispatch=config.batched_dispatch)
     machine = built.machine
     if config.with_network_shares:
         share = Volume(label=f"srv-{built.username}",
@@ -433,7 +440,7 @@ def simulate_machine(config: StudyConfig, index: int, category_name: str,
         telemetry.emit(
             "machine-done", machine=name, category=category_name,
             index=index, of=n_total,
-            records=len(machine.collector.records),
+            records=len(machine.collector),
             sim_seconds=config.duration_seconds,
             wall_seconds=time.perf_counter() - wall_started)
     return MachineArtifact(
@@ -461,7 +468,7 @@ def merge_artifacts(artifacts: Sequence[MachineArtifact],
     collectors = [a.collector for a in ordered]
     if telemetry is not None:
         telemetry.emit("study-done", machines=len(collectors),
-                       records=sum(len(c.records) for c in collectors))
+                       records=sum(len(c) for c in collectors))
     return StudyResult(
         collectors=collectors,
         machine_categories={a.name: a.category for a in ordered},

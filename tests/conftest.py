@@ -1,4 +1,18 @@
-"""Shared fixtures: a small machine, and a session-scoped study."""
+"""Shared fixtures: a small machine, and a session-scoped study.
+
+Markers
+-------
+``slow``
+    Benchmark-shaped tests: anything that re-runs a full benchmark
+    configuration or whose pass/fail depends on host wall-clock speed
+    (tests/test_throughput_gate.py's records/sec gate).  The tier-1 lane
+    excludes them by default (``addopts = -m 'not slow'`` in
+    pyproject.toml); select them explicitly with ``pytest -m slow``,
+    which CI's profile-smoke job does against the committed
+    BENCH_throughput.json baseline.  Correctness tests — including the
+    batched-vs-classic differential harness — are deliberately *not*
+    marked slow: they must run in every tier-1 pass.
+"""
 
 from __future__ import annotations
 

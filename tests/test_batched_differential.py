@@ -1,0 +1,101 @@
+"""Differential identity: the batched hot path vs the classic one.
+
+``MachineConfig.batched_dispatch`` swaps three hot-loop mechanisms —
+IRP/FastIO handler tables bound once per device stack, Irp reuse on a
+FastIO decline, and the columnar record buffer
+(:mod:`repro.nt.tracing.fastbuf`) — none of which may alter a single
+observable byte.  These tests run the same study with the flag on and
+off, serial and parallel, across several seeds, and require every
+artifact to match exactly: the packed ``.nttrace`` payloads, the
+``perf.json`` counter document, the flight recorder's ``.ntmetrics``
+log, and the causal span log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import StudyConfig, run_study
+from repro.nt.flight.log import write_metrics_log
+from repro.nt.perf import perf_json_bytes
+from repro.nt.tracing.store import pack_collector
+
+from tests.conftest import assert_studies_identical
+
+SEEDS = (3, 11, 23)
+
+
+def _config(seed: int, **overrides) -> StudyConfig:
+    base = dict(n_machines=2, duration_seconds=15.0, seed=seed,
+                spans_enabled=True, metrics_interval_seconds=5.0)
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def pair(request):
+    """(batched study, classic study) of the same seed."""
+    seed = request.param
+    batched = run_study(_config(seed, batched_dispatch=True))
+    classic = run_study(_config(seed, batched_dispatch=False))
+    return batched, classic
+
+
+def test_study_state_identical(pair):
+    batched, classic = pair
+    assert_studies_identical(batched, classic)
+
+
+def test_archives_byte_identical(pair):
+    batched, classic = pair
+    for cb, cc in zip(batched.collectors, classic.collectors):
+        assert pack_collector(cb) == pack_collector(cc), cb.machine_name
+
+
+def test_perf_json_byte_identical(pair):
+    batched, classic = pair
+    assert perf_json_bytes(batched.perf) == perf_json_bytes(classic.perf)
+
+
+def test_metrics_log_byte_identical(pair, tmp_path):
+    batched, classic = pair
+    pa, pb = tmp_path / "batched.ntmetrics", tmp_path / "classic.ntmetrics"
+    write_metrics_log(batched.metrics, pa)
+    write_metrics_log(classic.metrics, pb)
+    assert pa.read_bytes() == pb.read_bytes()
+
+
+def test_span_logs_identical_and_nonempty(pair):
+    batched, classic = pair
+    for cb, cc in zip(batched.collectors, classic.collectors):
+        assert list(cb.span_records) == list(cc.span_records)
+    assert any(c.span_records for c in batched.collectors), \
+        "spans were enabled but no span records were produced"
+
+
+def test_parallel_batched_matches_serial_classic():
+    """Worker processes and batching compose: still byte-identical."""
+    cfg = _config(SEEDS[0])
+    classic = run_study(dataclasses.replace(cfg, batched_dispatch=False))
+    parallel = run_study(dataclasses.replace(cfg, workers=2))
+    assert_studies_identical(classic, parallel)
+    for cc, cp in zip(classic.collectors, parallel.collectors):
+        assert pack_collector(cc) == pack_collector(cp)
+
+
+def test_verifier_mode_identical():
+    """The runtime IRP verifier neither breaks nor perturbs batching.
+
+    Batched machines skip Irp reuse under the verifier (every dispatch
+    must see a fresh IRP for protocol checking), which must not change
+    the recorded stream either.
+    """
+    cfg = _config(SEEDS[0], verifier_enabled=True)
+    batched = run_study(cfg)
+    classic = run_study(dataclasses.replace(cfg, batched_dispatch=False))
+    assert_studies_identical(batched, classic)
+    plain = run_study(_config(SEEDS[0]))
+    for cv, cp in zip(batched.collectors, plain.collectors):
+        assert pack_collector(cv) == pack_collector(cp)
