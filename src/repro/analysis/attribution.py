@@ -199,6 +199,13 @@ class PathRow:
     total_ticks: int = 0        # root begin-to-end time
     sync_ticks: int = 0         # direct synchronous children (on-path)
     overlapped_ticks: int = 0   # background children (off-path)
+    # Storage-device service time anywhere under the root (activity-id
+    # attribution).  These are "of which" columns — device time inside a
+    # synchronous fault-in is already part of sync_ticks; the split here
+    # shows how much of the path latency the device itself accounts for,
+    # which is what moves when a whatif sweep swaps personalities.
+    device_ticks: int = 0            # under synchronous ancestors
+    device_overlapped_ticks: int = 0  # under a background ancestor
 
     @property
     def self_ticks(self) -> int:
@@ -226,6 +233,14 @@ class PathRow:
     def mean_overlapped_micros(self) -> float:
         return self._mean_micros(self.overlapped_ticks)
 
+    @property
+    def mean_device_micros(self) -> float:
+        return self._mean_micros(self.device_ticks)
+
+    @property
+    def mean_device_overlapped_micros(self) -> float:
+        return self._mean_micros(self.device_overlapped_ticks)
+
     def to_dict(self) -> dict:
         return {
             "kind": self.kind.name,
@@ -234,6 +249,9 @@ class PathRow:
             "mean_sync_child_micros": self.mean_sync_micros,
             "mean_self_micros": self.mean_self_micros,
             "mean_overlapped_micros": self.mean_overlapped_micros,
+            "mean_device_micros": self.mean_device_micros,
+            "mean_device_overlapped_micros":
+                self.mean_device_overlapped_micros,
         }
 
 
@@ -256,20 +274,24 @@ class CriticalPathTable:
         title = "Critical-path decomposition (root read/write requests)"
         lines = [title, "=" * len(title)]
         lines.append(f"  {'kind':<14} {'n':>10} {'total µs':>10} "
-                     f"{'induced µs':>11} {'self µs':>9} {'overlap µs':>11}")
+                     f"{'induced µs':>11} {'self µs':>9} {'overlap µs':>11} "
+                     f"{'device µs':>10}")
         for kind in DATA_PATH_KINDS:
             row = self.rows[kind]
             lines.append(f"  {kind.name:<14} {row.n:>10,} "
                          f"{row.mean_total_micros:>10.1f} "
                          f"{row.mean_sync_micros:>11.1f} "
                          f"{row.mean_self_micros:>9.1f} "
-                         f"{row.mean_overlapped_micros:>11.1f}")
+                         f"{row.mean_overlapped_micros:>11.1f} "
+                         f"{row.mean_device_micros:>10.1f}")
         return "\n".join(lines)
 
 
 def _decompose_machine(spans: Iterable[SpanRecord],
                        rows: dict[TraceEventKind, PathRow]) -> None:
+    spans = list(spans)
     wanted = {int(kind) for kind in DATA_PATH_KINDS}
+    by_id = {span.span_id: span for span in spans}
     roots: dict[int, PathRow] = {}
     for span in spans:
         if span.is_root and span.op in wanted and span.recorded:
@@ -291,6 +313,30 @@ def _decompose_machine(spans: Iterable[SpanRecord],
             row.overlapped_ticks += span.duration
         else:
             row.sync_ticks += span.duration
+    # Storage-device spans sit at arbitrary depth (directly under a NIB
+    # root, or under MM annotations and paging IRPs); attribute them to
+    # their activity root, splitting on whether any ancestor ran on a
+    # forked clock.
+    for span in spans:
+        if span.cause != int(SpanCause.DEVICE):
+            continue
+        row = roots.get(span.activity_id)
+        if row is None:
+            continue
+        background = False
+        cursor = span
+        while cursor.parent_id != 0:
+            parent = by_id.get(cursor.parent_id)
+            if parent is None:
+                break
+            if parent.flags & SPAN_BACKGROUND:
+                background = True
+                break
+            cursor = parent
+        if background:
+            row.device_overlapped_ticks += span.duration
+        else:
+            row.device_ticks += span.duration
 
 
 def critical_path_table(collectors: Sequence["TraceCollector"]

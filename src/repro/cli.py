@@ -11,6 +11,8 @@
     python -m repro metrics traces/ --openmetrics metrics.prom
     python -m repro profile --machines 2 --seconds 30
     python -m repro replay --traces traces/ --mode closed
+    python -m repro whatif --traces traces/ \
+        --grid "devices=hdd_ide,ssd×cache_mb=4,16,64"
     python -m repro spans  export traces/ --out chrome-trace.json
     python -m repro spans  attribution traces/
     python -m repro verify src/repro
@@ -27,7 +29,11 @@ OpenMetrics text export of the perf counters; ``profile`` self-profiles
 the simulator's IRP dispatch → cache → trace-filter hot path and reports
 records/sec (the CI throughput baseline); ``replay`` re-drives an
 archived study through fresh machines and prints the first- vs
-second-generation fidelity report; ``spans`` works on the causal span
+second-generation fidelity report; ``whatif`` replays one archived study
+across a storage-device × cache-size grid and prints a deterministic
+comparison report (latency bands, critical-path decomposition with
+device time split out, cache hit deltas), failing if any cell's
+closed-loop core counts diverge; ``spans`` works on the causal span
 logs of a ``--spans`` archive — Chrome trace-event export, the
 induced-I/O attribution tables, and the tracing-overhead benchmark;
 ``verify`` runs the Driver-Verifier-style static analysis over the
@@ -205,6 +211,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="self-profile the replay hot path and print"
                              " the per-subsystem wall-clock table")
     _add_workers_option(replay)
+
+    whatif = sub.add_parser(
+        "whatif", help="replay one archive across a device×cache grid")
+    whatif.add_argument("--traces", type=Path, required=True,
+                        help=".nttrace archive directory to sweep")
+    whatif.add_argument("--grid", required=True,
+                        help="sweep grid, e.g."
+                             " 'devices=hdd_ide,ssd×cache_mb=4,16,64'"
+                             " ('*' or ';' also separate dimensions;"
+                             " devices come from the storage personality"
+                             " registry, cache sizes are MB)")
+    whatif.add_argument("--mode", choices=("open", "closed"),
+                        default="closed",
+                        help="replay mode for every cell (closed-loop"
+                             " gates on exact core counts)")
+    whatif.add_argument("--seed", type=int, default=1998)
+    whatif.add_argument("--json", type=Path, default=None,
+                        help="write the full comparison report here as"
+                             " JSON (carries the 'deterministic' block"
+                             " the CI whatif-smoke baseline compares)")
+    whatif.add_argument("--progress", action="store_true",
+                        help="emit per-cell telemetry lines to stderr")
+    _add_workers_option(whatif)
 
     spans = sub.add_parser(
         "spans", help="causal span tooling (export, attribution, bench)")
@@ -659,6 +688,40 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_whatif(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import StudyTelemetry
+    from repro.replay import ReplayConfig
+    from repro.replay.whatif import parse_grid, whatif_sweep
+
+    try:
+        grid = parse_grid(args.grid)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    config = ReplayConfig(mode=args.mode, seed=args.seed,
+                          workers=args.workers)
+    telemetry = StudyTelemetry() if args.progress else None
+    try:
+        report = whatif_sweep(args.traces, grid, config,
+                              telemetry=telemetry)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(report.format())
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.to_dict(), sort_keys=True, indent=1) + "\n")
+        print(f"wrote what-if report to {args.json}")
+    # Every cell replays the same records; a device model may move time
+    # but never operations, so any core-count drift is an error.
+    if args.mode == "closed" and not report.all_core_match:
+        print("closed-loop core-path counts diverged in at least one "
+              "grid cell", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _load_span_study(traces: Path):
     """Load an archive and require it to carry span logs."""
     from repro.nt.tracing.store import load_study
@@ -809,8 +872,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"run": cmd_run, "report": cmd_report,
                 "figures": cmd_figures, "perf": cmd_perf,
                 "metrics": cmd_metrics, "profile": cmd_profile,
-                "replay": cmd_replay, "spans": cmd_spans,
-                "verify": cmd_verify}
+                "replay": cmd_replay, "whatif": cmd_whatif,
+                "spans": cmd_spans, "verify": cmd_verify}
     return handlers[args.command](args)
 
 

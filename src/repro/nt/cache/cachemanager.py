@@ -166,6 +166,53 @@ class CacheManager:
         # them verbatim, so regenerating fault-ins, read-aheads, flushes or
         # the trailing SetEndOfFile would double-count them.
         self.assume_resident = False
+        # What-if shadow cache: an LRU residency model fed from the
+        # assume_resident copy paths.  It counts the hits and misses a
+        # cache of ``_overlay_pages`` pages *would* have had against the
+        # replayed access stream, without generating any paging I/O (which
+        # would break the exact core-count reconciliation replay promises).
+        # None = disabled; install_overlay() turns it on.
+        self._overlay: Optional["OrderedDict[tuple[int, int], None]"] = None
+        self._overlay_pages = 0
+        self._perf_overlay_hits = perf.counter("cc.whatif.read_hits")
+        self._perf_overlay_misses = perf.counter("cc.whatif.read_misses")
+        self._perf_overlay_evicted = perf.counter("cc.whatif.pages_evicted")
+
+    def install_overlay(self, capacity_bytes: Optional[int] = None) -> None:
+        """Enable the what-if shadow cache (replay grid cells).
+
+        ``capacity_bytes`` defaults to this cache's own capacity; the
+        whatif sweep sizes the machine's cache per grid cell and installs
+        the overlay at that same size.
+        """
+        pages = (capacity_bytes // PAGE_SIZE if capacity_bytes is not None
+                 else self.capacity_pages)
+        if pages < 1:
+            raise ValueError("overlay capacity must hold at least one page")
+        self._overlay = OrderedDict()
+        self._overlay_pages = pages
+
+    def _overlay_access(self, map_id: int, pages, write: bool) -> None:
+        """Run one copy access through the shadow cache's LRU model."""
+        overlay = self._overlay
+        missing = 0
+        for page in pages:
+            key = (map_id, page)
+            if key in overlay:
+                overlay.move_to_end(key)
+            else:
+                overlay[key] = None
+                missing += 1
+        if not write and self._perf.enabled:
+            # Hit/miss at copy-read granularity, mirroring cc.copy_read.*.
+            (self._perf_overlay_misses if missing
+             else self._perf_overlay_hits).add(1)
+        evicted = 0
+        while len(overlay) > self._overlay_pages:
+            overlay.popitem(last=False)
+            evicted += 1
+        if evicted and self._perf.enabled:
+            self._perf_overlay_evicted.add(evicted)
 
     # ------------------------------------------------------------------ #
     # Cache map lifecycle.
@@ -286,6 +333,8 @@ class CacheManager:
             machine.counters["cc.read_hits"] += 1
             if self._perf.enabled:
                 self._perf_hits.add(1)
+            if self._overlay is not None:
+                self._overlay_access(cmap.map_id, pages, write=False)
             return NtStatus.SUCCESS, returned, True
         missing = [p for p in pages if p not in cmap.pages]
         hit = not missing
@@ -342,6 +391,8 @@ class CacheManager:
             if self._perf.enabled:
                 self._perf_writes.add(1)
                 self._perf_write_bytes.add(length)
+            if self._overlay is not None:
+                self._overlay_access(cmap.map_id, pages, write=True)
             return NtStatus.SUCCESS, length
         # Fault in boundary pages that hold pre-existing data the write
         # does not fully cover.

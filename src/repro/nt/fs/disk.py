@@ -31,11 +31,20 @@ class DiskModel:
         """Ticks to service one request of ``nbytes``.
 
         ``sequential`` requests (the next block after the previous transfer)
-        skip most of the positioning cost.
+        skip most of the positioning cost.  With ``jitter_fraction == 0``
+        the result is computed without drawing from ``rng`` and with the
+        float work confined to a single rounding, so two models configured
+        identically produce tick-exact service times in differential tests.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if self.bytes_per_second <= 0:
+            raise ValueError("bytes_per_second must be positive")
         base = self.sequential_micros if sequential else self.seek_micros
+        if self.jitter_fraction == 0:
+            # Exact path: one division, one rounding, no rng draw.
+            return max(1, ticks_from_micros(
+                base + nbytes * 1e6 / self.bytes_per_second))
         transfer = nbytes / self.bytes_per_second * 1e6
         micros = base + transfer
         if self.jitter_fraction > 0:

@@ -214,9 +214,9 @@ class FileSystemDriver(Driver):
             return irp.complete(NtStatus.INVALID_PARAMETER)
         self._charge(_READ_DISPATCH)
         if irp.is_paging_io:
-            return self._media_read(irp, volume, node)
+            return self._media_read(irp, device, volume, node)
         if fo.has_flag(FileObjectFlags.NO_INTERMEDIATE_BUFFERING):
-            status = self._media_read(irp, volume, node)
+            status = self._media_read(irp, device, volume, node)
             self._touch_read(volume, node)
             return status
         if fo.private_cache_map is None:
@@ -226,10 +226,18 @@ class FileSystemDriver(Driver):
         self._touch_read(volume, node)
         return irp.complete(status, returned)
 
-    def _media_read(self, irp: Irp, volume, node: FileNode) -> NtStatus:
+    def _media_read(self, irp: Irp, device: DeviceObject, volume,
+                    node: FileNode) -> NtStatus:
         machine = self.io.machine
         if irp.offset >= max(node.size, node.allocation_size):
             return irp.complete(NtStatus.END_OF_FILE)
+        if device.lower is not None:
+            # A storage device is mounted below: it prices and completes
+            # the transfer; the FSD keeps the post-transfer CPU work.
+            status = self.forward_irp(irp, device)
+            if int(node.attributes) & _ATTR_COMPRESSED:
+                self._charge(irp.returned / 15e6 * 1e6)
+            return status
         available = max(node.size, node.allocation_size) - irp.offset
         returned = min(irp.length, available)
         machine.clock.advance(
@@ -252,6 +260,8 @@ class FileSystemDriver(Driver):
             # Data already sized by the cached write; just move it to media.
             if irp.length <= 0:
                 return irp.complete(NtStatus.SUCCESS)
+            if device.lower is not None:
+                return self.forward_irp(irp, device)
             machine.clock.advance(
                 volume.media_service_ticks(node, irp.offset, irp.length,
                                            machine.rng))
@@ -262,6 +272,11 @@ class FileSystemDriver(Driver):
             if status.is_error:
                 return irp.complete(status)
         if fo.has_flag(FileObjectFlags.NO_INTERMEDIATE_BUFFERING):
+            if device.lower is not None:
+                status = self.forward_irp(irp, device)
+                node.valid_data_length = max(node.valid_data_length, end)
+                self._touch_written(volume, node)
+                return status
             machine.clock.advance(
                 volume.media_service_ticks(node, irp.offset, irp.length,
                                            machine.rng))

@@ -1,0 +1,29 @@
+"""Storage devices below the file system.
+
+The measured machines sat on real 2–6 GB IDE and 9–18 GB SCSI disks; this
+package puts a :class:`~repro.nt.storage.driver.StorageDriver` at the
+bottom of every local volume's device stack so media transfers pay
+device time through the ordinary IRP path — the completion protocol,
+runtime verifier, and span tracing all apply unchanged.  Personalities
+(:data:`~repro.nt.storage.devices.PERSONALITIES`) swap the pricing model
+per machine, which is what the ``repro whatif`` sweep varies.
+"""
+
+from repro.nt.storage.devices import (
+    PERSONALITIES,
+    HddPersonality,
+    SsdPersonality,
+    StorageKind,
+)
+from repro.nt.storage.driver import StorageDriver
+from repro.nt.storage.queue import QUEUE_POLICIES, DeviceQueue
+
+__all__ = [
+    "PERSONALITIES",
+    "QUEUE_POLICIES",
+    "DeviceQueue",
+    "HddPersonality",
+    "SsdPersonality",
+    "StorageDriver",
+    "StorageKind",
+]

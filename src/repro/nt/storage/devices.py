@@ -1,0 +1,148 @@
+"""Pluggable storage-device personalities.
+
+Two technologies, priced very differently:
+
+* **HDD** — the mechanical model from ``nt/fs/disk.py`` extended with
+  track locality: a request near (but not exactly at) the previous
+  position pays a short track-to-track positioning cost instead of a
+  full average seek, and an elevator queue may scale positioning down
+  further when requests are pending (seek sorting).
+* **SSD** — near-zero positioning, asymmetric read/write latency and
+  bandwidth, and an erase-block write cliff: once the device's budget of
+  pre-erased blocks is exhausted, each first write to a new erase block
+  pays an erase-before-program penalty.
+
+Both personalities share one ``service_ticks`` signature so tests and
+the driver's per-kind handlers treat them uniformly; parameters a
+technology does not price (``erase_blocks`` on HDD, ``sequential`` /
+``near`` / ``scale`` on SSD) are accepted and ignored.  Service times
+are exact functions of their inputs — no jitter, no rng draw — so a
+what-if sweep is reproducible tick-for-tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.common.clock import ticks_from_micros
+
+
+class StorageKind(enum.IntEnum):
+    """Device technology; selects the StorageDriver pricing handler."""
+
+    HDD = 0
+    SSD = 1
+
+
+def _validate(nbytes: int, bps: float, scale: float) -> None:
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if bps <= 0:
+        raise ValueError("bytes_per_second must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+
+@dataclass(frozen=True)
+class HddPersonality:
+    """Seek/rotational disk: positioning + transfer + track locality."""
+
+    name: str
+    kind: StorageKind
+    seek_micros: float          # average positioning for a random access
+    track_micros: float         # positioning within ``track_span_bytes``
+    sequential_micros: float    # positioning when continuing sequentially
+    bytes_per_second: float     # media transfer rate
+    track_span_bytes: int       # |offset - last_end| treated as track-local
+
+    def service_ticks(self, nbytes: int, *, is_write: bool = False,
+                      sequential: bool = False, near: bool = False,
+                      scale: float = 1.0, erase_blocks: int = 0) -> int:
+        """Exact service time in ticks for one transfer of ``nbytes``."""
+        _validate(nbytes, self.bytes_per_second, scale)
+        if sequential:
+            positioning = self.sequential_micros
+        elif near:
+            positioning = self.track_micros * scale
+        else:
+            positioning = self.seek_micros * scale
+        return max(1, ticks_from_micros(
+            positioning + nbytes * 1e6 / self.bytes_per_second))
+
+
+@dataclass(frozen=True)
+class SsdPersonality:
+    """Flash device: no mechanics, read/write asymmetry, erase cliff."""
+
+    name: str
+    kind: StorageKind
+    read_micros: float              # fixed per-read latency
+    write_micros: float             # fixed per-write (program) latency
+    read_bytes_per_second: float
+    write_bytes_per_second: float
+    erase_block_bytes: int          # erase-block granularity
+    erase_micros: float             # erase-before-program penalty per block
+    clean_block_budget: int         # pre-erased blocks before the cliff
+
+    def service_ticks(self, nbytes: int, *, is_write: bool = False,
+                      sequential: bool = False, near: bool = False,
+                      scale: float = 1.0, erase_blocks: int = 0) -> int:
+        """Exact service time in ticks for one transfer of ``nbytes``."""
+        bps = (self.write_bytes_per_second if is_write
+               else self.read_bytes_per_second)
+        _validate(nbytes, bps, scale)
+        base = self.write_micros if is_write else self.read_micros
+        return max(1, ticks_from_micros(
+            base + nbytes * 1e6 / bps + erase_blocks * self.erase_micros))
+
+    def blocks_spanned(self, offset: int, nbytes: int) -> range:
+        """Erase-block indices a write of ``nbytes`` at ``offset`` touches."""
+        if nbytes <= 0:
+            return range(0)
+        first = offset // self.erase_block_bytes
+        last = (offset + nbytes - 1) // self.erase_block_bytes
+        return range(first, last + 1)
+
+
+StoragePersonality = Union[HddPersonality, SsdPersonality]
+
+
+# Named personalities the whatif grid (and MachineConfig.storage) selects
+# from.  The HDD numbers track the DiskModel presets in ``nt/fs/disk.py``;
+# the SSD is a deliberately-anachronistic flash device for sensitivity
+# studies — random reads two orders of magnitude faster than the IDE
+# disk, writes slower than reads, and a hard cliff once the clean-block
+# budget is gone.
+PERSONALITIES: Dict[str, StoragePersonality] = {
+    "hdd_ide": HddPersonality(
+        name="hdd_ide",
+        kind=StorageKind.HDD,
+        seek_micros=10_000.0,
+        track_micros=2_500.0,
+        sequential_micros=600.0,
+        bytes_per_second=7e6,
+        track_span_bytes=256 * 1024,
+    ),
+    "hdd_scsi": HddPersonality(
+        name="hdd_scsi",
+        kind=StorageKind.HDD,
+        seek_micros=7_000.0,
+        track_micros=1_800.0,
+        sequential_micros=300.0,
+        bytes_per_second=20e6,
+        track_span_bytes=512 * 1024,
+    ),
+    "ssd": SsdPersonality(
+        name="ssd",
+        kind=StorageKind.SSD,
+        read_micros=100.0,
+        write_micros=300.0,
+        read_bytes_per_second=25e6,
+        write_bytes_per_second=10e6,
+        erase_block_bytes=128 * 1024,
+        erase_micros=2_000.0,
+        clean_block_budget=512,
+    ),
+}

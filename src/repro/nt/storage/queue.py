@@ -1,0 +1,62 @@
+"""Per-device request queues.
+
+The device is a single server: requests are serviced at its busy
+horizon, so a request arriving while the device is busy waits
+``busy_until - now`` ticks first.  Foreground traffic is synchronous and
+normally finds the device idle; overlap comes from background work
+(read-ahead, lazy writes) priced on forked clocks, whose completions
+push ``busy_until`` past the foreground clock.
+
+Two policies:
+
+* ``fifo`` — arrival order, full positioning cost every time.
+* ``elevator`` — arrival order too (service times keep one deterministic
+  order), but pending requests let the scheduler sort seeks, modelled as
+  a positioning *scale* < 1 that deepens with queue depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+QUEUE_POLICIES = ("fifo", "elevator")
+
+
+class DeviceQueue:
+    """Busy-horizon queue for one device; all times in simulated ticks."""
+
+    __slots__ = ("policy", "busy_until", "depth_max", "_pending")
+
+    def __init__(self, policy: str = "fifo") -> None:
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(f"unknown queue policy {policy!r}; "
+                             f"expected one of {QUEUE_POLICIES}")
+        self.policy = policy
+        self.busy_until = 0
+        self.depth_max = 0
+        self._pending: List[int] = []  # completion ticks of in-flight I/O
+
+    def admit(self, now: int) -> Tuple[int, int]:
+        """Admit a request at ``now``; return ``(depth, wait_ticks)``.
+
+        ``depth`` counts requests still in flight at ``now`` (ahead of the
+        new arrival); ``wait_ticks`` is how long the arrival sits queued
+        before the device starts on it.
+        """
+        self._pending = [t for t in self._pending if t > now]
+        return len(self._pending), max(0, self.busy_until - now)
+
+    def positioning_scale(self, depth: int) -> float:
+        """Seek-sorting discount for a request admitted at ``depth``."""
+        if self.policy != "elevator" or depth <= 0:
+            return 1.0
+        return 1.0 / (1.0 + 0.5 * min(depth, 8))
+
+    def commit(self, now: int, wait_ticks: int, service_ticks: int) -> int:
+        """Record the admitted request; return its completion tick."""
+        done = now + wait_ticks + service_ticks
+        self.busy_until = max(self.busy_until, done)
+        self._pending.append(done)
+        if len(self._pending) > self.depth_max:
+            self.depth_max = len(self._pending)
+        return done

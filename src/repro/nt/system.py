@@ -12,7 +12,7 @@ import heapq
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
@@ -32,6 +32,8 @@ from repro.nt.io.verifier import DriverVerifier
 from repro.nt.mm.vmmanager import VmManager
 from repro.nt.net.redirector import NetworkModel, RedirectorDriver, SWITCHED_100MBIT
 from repro.nt.perf import PerfRegistry
+from repro.nt.storage.devices import PERSONALITIES
+from repro.nt.storage.driver import StorageDriver
 from repro.nt.tracing.collector import TraceCollector
 from repro.nt.tracing.driver import TraceFilterDriver
 from repro.nt.tracing.snapshot import take_snapshot
@@ -90,6 +92,18 @@ class MachineConfig:
     # by default — one attribute check per profiled site — and its
     # wall-clock bins never enter archives or perf.json.
     profile_enabled: bool = False
+    # Storage-device layer (repro.nt.storage): name of a personality from
+    # PERSONALITIES to mount below every local volume's file-system
+    # device.  None (the default) keeps the legacy inline
+    # Volume.media_service_ticks pricing, so archives stay byte-identical
+    # to pre-storage seeds.
+    storage: Optional[str] = None
+    # Queue policy for the storage devices ("fifo" or "elevator").
+    storage_queue: str = "fifo"
+    # Cache-manager capacity override in bytes.  None sizes the cache
+    # from memory_mb * cache_memory_fraction as before; the whatif sweep
+    # sets an explicit size per grid cell.
+    cache_bytes: Optional[int] = None
     # Batched hot-path dispatch (repro.nt.tracing.fastbuf): stage trace
     # records as columnar array rows instead of per-record dataclasses,
     # resolve each stack's IrpMajor->handler table once at mount, and
@@ -151,14 +165,28 @@ class Machine:
         # manager: mount IRPs dispatch during construction.
         self.verifier = DriverVerifier(enabled=config.verifier_enabled)
         self.io = IoManager(self)
-        self.cc = CacheManager(
-            self, int(config.memory_mb * _MB * config.cache_memory_fraction))
+        cache_bytes = config.cache_bytes
+        if cache_bytes is None:
+            cache_bytes = int(config.memory_mb * _MB
+                              * config.cache_memory_fraction)
+        self.cc = CacheManager(self, cache_bytes)
         self.mm = VmManager(
             self, int(config.memory_mb * _MB * config.image_memory_fraction))
         self.fs_services = FsServices(self)
         self.lazy_writer = LazyWriter(self)
         self._fsd = FileSystemDriver(self.io)
         self._rdr = RedirectorDriver(self.io, config.network)
+        # One storage driver serves every local volume (like the FSD);
+        # per-device state hangs off the device objects it is handed.
+        self._storage: Optional[StorageDriver] = None
+        if config.storage is not None:
+            personality = PERSONALITIES.get(config.storage)
+            if personality is None:
+                raise ValueError(
+                    f"unknown storage personality {config.storage!r}; "
+                    f"expected one of {sorted(PERSONALITIES)}")
+            self._storage = StorageDriver(self.io, personality,
+                                          config.storage_queue)
         self.drives: dict[str, Volume] = {}
         self.remote_shares: dict[str, Volume] = {}
         # Long-lived per-volume root file objects used for FSCTL chatter.
@@ -201,6 +229,13 @@ class Machine:
 
     def _build_stack(self, volume: Volume, driver) -> DeviceObject:
         fs_device = DeviceObject(driver, volume, f"{volume.label}-fsd")
+        if self._storage is not None and driver is self._fsd:
+            # Local volumes get a storage device at the bottom; the FSD
+            # forwards media transfers to it instead of pricing them
+            # inline.  Remote stacks keep the redirector as the leaf.
+            storage_device = DeviceObject(self._storage, volume,
+                                          f"{volume.label}-storage")
+            fs_device.attach_on_top_of(storage_device)
         filter_driver = TraceFilterDriver(
             self.io, self.collector,
             batched=self.config.batched_dispatch)

@@ -22,7 +22,7 @@ Each finished span lands in the collector's span log as a fixed-layout
 (:mod:`repro.nt.tracing.store`), and :func:`chrome_trace_events` exports
 it as Chrome trace-event JSON for Perfetto viewing.
 
-Causes partition the recorded work five ways (the §9–10 breakdown
+Causes partition the recorded work six ways (the §9–10 breakdown
 ``repro.analysis.attribution`` reports):
 
 * ``USER`` — the application's own request and its directly recorded
@@ -34,9 +34,15 @@ Causes partition the recorded work five ways (the §9–10 breakdown
   fault-ins, image-section loads, mapped-view faults, write-through.
 * ``REDIRECTOR`` — demand paging that crosses the wire: a PAGING-caused
   transfer whose file lives on a remote volume.
+* ``DEVICE`` — time spent inside the storage device itself (queueing
+  plus media service) when a storage personality is mounted below the
+  file system (:mod:`repro.nt.storage`).
 
 A child inherits its parent's cause, so (for example) the paging IRPs
-under a read-ahead annotation stay READ_AHEAD, not PAGING.
+under a read-ahead annotation stay READ_AHEAD, not PAGING.  DEVICE is
+the exception: like the redirector's wire annotation it marks *where*
+the time went rather than *why* the work happened, so the device scope
+always stamps its own cause.
 """
 
 from __future__ import annotations
@@ -66,6 +72,7 @@ class SpanLayer(enum.IntEnum):
     LAZY_WRITER = 2   # lazy-writer annotation (flush portions, closes)
     MM = 3            # VM-manager annotation (paging transfers)
     REDIRECTOR = 4    # redirector annotation (wire time)
+    STORAGE = 5       # storage-device annotation (queue + service time)
 
 
 class SpanCause(enum.IntEnum):
@@ -76,6 +83,7 @@ class SpanCause(enum.IntEnum):
     LAZY_WRITER = 2
     PAGING = 3
     REDIRECTOR = 4
+    DEVICE = 5
 
 
 # Span flag bits.
@@ -284,6 +292,18 @@ class SpanTracer:
     def begin_wire(self, payload_bytes: int) -> _OpenSpan:
         """Redirector wire-time scope; inherits the cause."""
         span = self._begin(SpanLayer.REDIRECTOR, NO_OP, -1, 0)
+        span.nbytes = payload_bytes
+        return span
+
+    def begin_device(self, payload_bytes: int) -> _OpenSpan:
+        """Storage-device service scope (queue wait + media transfer).
+
+        Unlike the other annotations this one stamps its own cause: the
+        critical-path decomposition needs device time as a distinct
+        share, whoever initiated the transfer.
+        """
+        span = self._begin(SpanLayer.STORAGE, NO_OP,
+                           int(SpanCause.DEVICE), 0)
         span.nbytes = payload_bytes
         return span
 

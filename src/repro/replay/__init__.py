@@ -11,15 +11,27 @@ from repro.replay.engine import (
     replay_collector,
 )
 from repro.replay.runner import ReplayResult, ReplayTask, replay_archive
+from repro.replay.whatif import (
+    GridCell,
+    WhatifReport,
+    grid_cells,
+    parse_grid,
+    whatif_sweep,
+)
 
 __all__ = [
+    "GridCell",
     "ReplayConfig",
     "ReplayInitiator",
     "ReplayOutcome",
     "ReplayResult",
     "ReplayTask",
     "ReplayedMachine",
+    "WhatifReport",
     "build_replay_machine",
+    "grid_cells",
+    "parse_grid",
     "replay_archive",
     "replay_collector",
+    "whatif_sweep",
 ]

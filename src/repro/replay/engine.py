@@ -73,11 +73,28 @@ class ReplayConfig:
     metrics_interval_seconds: float = 0.0
     # Self-profiling of the replay dispatch hot path (off by default).
     profile_enabled: bool = False
+    # Storage personality name (repro.nt.storage.devices.PERSONALITIES)
+    # mounted below every rebuilt local volume.  None keeps the legacy
+    # inline media pricing, byte-identical to pre-storage replays.
+    storage: Optional[str] = None
+    # Queue policy for the replay storage devices.
+    storage_queue: str = "fifo"
+    # Cache size override in MB for the rebuilt machines.  Replay runs
+    # assume_resident (regenerated paging I/O would break the exact
+    # core-count match), so the size is observed through the what-if
+    # shadow cache (cc.whatif.* counters), not through real evictions.
+    cache_mb: Optional[float] = None
+    # Causal spans in the replay machines — the whatif critical-path
+    # decomposition needs them.  Off by default: span tracing adds span
+    # records to the second-generation collector.
+    spans_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(
                 f"replay mode must be one of {_MODES}, got {self.mode!r}")
+        if self.cache_mb is not None and self.cache_mb <= 0:
+            raise ValueError("cache_mb must be positive")
 
 
 @dataclass
@@ -165,6 +182,8 @@ def _rebuild_tree(volume: Volume, records) -> None:
 def build_replay_machine(source: TraceCollector, index: int,
                          config: ReplayConfig) -> Machine:
     """A quiesced machine with the source's volumes and processes rebuilt."""
+    cache_bytes = (int(config.cache_mb * 1024 * 1024)
+                   if config.cache_mb is not None else None)
     machine_config = MachineConfig(
         name=source.machine_name,
         category=_category_of(source.machine_name),
@@ -174,10 +193,17 @@ def build_replay_machine(source: TraceCollector, index: int,
         lazy_writer_enabled=False,
         metrics_interval_seconds=config.metrics_interval_seconds,
         profile_enabled=config.profile_enabled,
+        storage=config.storage,
+        storage_queue=config.storage_queue,
+        cache_bytes=cache_bytes,
+        spans_enabled=config.spans_enabled,
     )
     machine = Machine(machine_config)
     machine.deliver_change_notifications = False
     machine.cc.assume_resident = True
+    if config.cache_mb is not None:
+        # Grid cells observe their cache size through the shadow cache.
+        machine.cc.install_overlay()
     local_labels, remote_labels = _volume_labels(source)
     snapshots = _first_snapshots(source)
     for slot, label in enumerate(local_labels):

@@ -48,4 +48,7 @@ RULE_CATALOG: List[Tuple[str, str]] = [
     ("T403", "IrpMajor member missing from FileSystemDriver._IRP_HANDLERS"),
     ("T404", "FastIoOp member missing from FileSystemDriver._FASTIO_HANDLERS"),
     ("T405", "SpanCause member never stamped by any instrumentation site"),
+    ("T406", "StorageKind member missing from StorageDriver's "
+             "_SERVICE_HANDLERS table"),
+    ("T407", "StorageKind member not used by any PERSONALITIES entry"),
 ]

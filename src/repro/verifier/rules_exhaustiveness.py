@@ -19,6 +19,13 @@ teaching the trace path about it fails CI:
 * **T405** — every ``SpanCause`` member is assigned by at least one
   instrumentation site in ``repro.nt`` (a cause no component ever
   stamps is a dead partition in the attribution tables).
+* **T406** — every ``StorageKind`` member has a service-time handler in
+  ``StorageDriver``'s ``_SERVICE_HANDLERS`` table (a kind without a
+  handler would crash the first transfer dispatched to it).
+* **T407** — every ``StorageKind`` member is used by at least one
+  personality in the ``PERSONALITIES`` registry (a kind no personality
+  carries can never be mounted, so its handler is dead code and the
+  whatif grid can never exercise it).
 
 Each rule is skipped silently when the modules it relates are not part
 of the verified path set — verifying a fixture directory must not
@@ -43,6 +50,8 @@ _FASTIO_MODULE = "repro.nt.io.fastio"
 _RECORDS_MODULE = "repro.nt.tracing.records"
 _FSD_MODULE = "repro.nt.fs.driver"
 _SPANS_MODULE = "repro.nt.tracing.spans"
+_STORAGE_DEVICES_MODULE = "repro.nt.storage.devices"
+_STORAGE_DRIVER_MODULE = "repro.nt.storage.driver"
 
 
 def _dict_literal_key_attrs(value: Optional[ast.expr], base: str) -> Set[str]:
@@ -129,6 +138,24 @@ def check_exhaustiveness(index: ModuleIndex) -> Iterator[Finding]:
                             _FSD_MODULE, "_IRP_HANDLERS")
     yield from _check_table(index, "T404", _FASTIO_MODULE, "FastIoOp",
                             _FSD_MODULE, "_FASTIO_HANDLERS")
+    yield from _check_table(index, "T406", _STORAGE_DEVICES_MODULE,
+                            "StorageKind", _STORAGE_DRIVER_MODULE,
+                            "_SERVICE_HANDLERS")
+
+    # T407: every StorageKind member is carried by some personality in
+    # the PERSONALITIES registry.
+    devices_mod = index.get(_STORAGE_DEVICES_MODULE)
+    if devices_mod is not None:
+        kinds = enum_member_names(devices_mod.tree, "StorageKind")
+        registry = find_assignment(devices_mod.tree, "PERSONALITIES")
+        if kinds and registry is not None:
+            used = attribute_refs(registry, "StorageKind")
+            for member in sorted(kinds - used):
+                yield Finding(
+                    devices_mod.display_path, registry.lineno, "T407",
+                    f"StorageKind.{member} is not used by any entry in "
+                    "PERSONALITIES — unmountable kind, dead service "
+                    "handler")
 
     # T405: every SpanCause member is stamped somewhere in repro.nt.
     spans_mod = index.get(_SPANS_MODULE)

@@ -61,3 +61,26 @@ class TestDiskModel:
     def test_minimum_one_tick(self, rng):
         tiny = DiskModel("t", 0.0001, 0.0001, 1e12, jitter_fraction=0)
         assert tiny.service_ticks(0, rng) >= 1
+
+    def test_nonpositive_transfer_rate_rejected(self, rng):
+        for bad in (0.0, -7e6):
+            broken = DiskModel("b", 10_000, 600, bad)
+            with pytest.raises(ValueError, match="bytes_per_second"):
+                broken.service_ticks(4096, rng)
+
+    def test_zero_jitter_consumes_no_rng_draws(self):
+        # The jitter_fraction=0 path is exact arithmetic: it must leave
+        # the rng untouched so interleaving disk calls cannot perturb any
+        # other seeded stream (tick-exact differential replays rely on
+        # this).
+        disk = no_jitter(IDE_DISK)
+        rng = np.random.default_rng(42)
+        before = rng.bit_generator.state
+        disk.service_ticks(4096, rng)
+        assert rng.bit_generator.state == before
+
+    def test_zero_jitter_matches_formula_exactly(self, rng):
+        disk = no_jitter(IDE_DISK)
+        expected = ticks_from_micros(
+            disk.seek_micros + 8192 * 1e6 / disk.bytes_per_second)
+        assert disk.service_ticks(8192, rng) == max(1, expected)

@@ -149,10 +149,12 @@ class TestParentingAndCauses:
                 root = by_id[span.activity_id]
                 assert root.is_root
 
-    def test_study_exercises_all_five_causes(self, study_on):
+    def test_study_exercises_all_recordable_causes(self, study_on):
         causes = {SpanCause(s.cause)
                   for c in study_on.collectors for s in _recorded(c)}
-        assert causes == set(SpanCause)
+        # DEVICE stamps storage-device annotation spans, which are never
+        # recorded (no trace record is emitted inside them).
+        assert causes == set(SpanCause) - {SpanCause.DEVICE}
 
     def test_lazy_writer_spans_are_roots_from_timers(self, study_on):
         lw = [s for c in study_on.collectors for s in _spans(c)

@@ -1,0 +1,174 @@
+"""The storage-device layer: personalities, queues, and the driver.
+
+Property tests over the pricing models (service time is monotone in
+transfer size; locality is never more expensive than a random access;
+the SSD's read/write asymmetry and erase-block write cliff), the
+busy-horizon device queue, and the driver's per-device state — all
+exact-arithmetic, so every assertion is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nt.perf import PerfRegistry
+from repro.nt.storage import (
+    PERSONALITIES,
+    QUEUE_POLICIES,
+    DeviceQueue,
+    HddPersonality,
+    SsdPersonality,
+    StorageKind,
+)
+from repro.nt.storage.driver import _SERVICE_HANDLERS, _DeviceState
+
+SIZES = (0, 1, 512, 4096, 65536, 1 << 20)
+
+
+def _state(personality, policy: str = "fifo") -> _DeviceState:
+    return _DeviceState("C-storage", personality, policy, PerfRegistry())
+
+
+class TestPersonalityProperties:
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_monotone_in_transfer_size(self, name):
+        personality = PERSONALITIES[name]
+        for is_write in (False, True):
+            costs = [personality.service_ticks(n, is_write=is_write)
+                     for n in SIZES]
+            assert costs == sorted(costs), (name, is_write)
+
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_sequential_never_dearer_than_random(self, name):
+        personality = PERSONALITIES[name]
+        for nbytes in SIZES:
+            assert (personality.service_ticks(nbytes, sequential=True)
+                    <= personality.service_ticks(nbytes)), name
+
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_exact_arithmetic_is_repeatable(self, name):
+        personality = PERSONALITIES[name]
+        assert (personality.service_ticks(8192)
+                == personality.service_ticks(8192))
+
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_negative_bytes_rejected(self, name):
+        with pytest.raises(ValueError):
+            PERSONALITIES[name].service_ticks(-1)
+
+    def test_hdd_track_local_between_sequential_and_seek(self):
+        hdd = PERSONALITIES["hdd_ide"]
+        seq = hdd.service_ticks(4096, sequential=True)
+        near = hdd.service_ticks(4096, near=True)
+        far = hdd.service_ticks(4096)
+        assert seq < near < far
+
+    def test_hdd_elevator_scale_discounts_positioning(self):
+        hdd = PERSONALITIES["hdd_ide"]
+        assert hdd.service_ticks(4096, scale=0.5) < hdd.service_ticks(4096)
+
+    def test_ssd_write_slower_than_read(self):
+        ssd = PERSONALITIES["ssd"]
+        for nbytes in SIZES:
+            assert (ssd.service_ticks(nbytes, is_write=True)
+                    > ssd.service_ticks(nbytes, is_write=False))
+
+    def test_ssd_erase_blocks_add_cost(self):
+        ssd = PERSONALITIES["ssd"]
+        clean = ssd.service_ticks(4096, is_write=True)
+        dirty = ssd.service_ticks(4096, is_write=True, erase_blocks=2)
+        assert dirty > clean
+
+    def test_ssd_blocks_spanned(self):
+        ssd = PERSONALITIES["ssd"]
+        block = ssd.erase_block_bytes
+        assert list(ssd.blocks_spanned(0, 1)) == [0]
+        assert list(ssd.blocks_spanned(block - 1, 2)) == [0, 1]
+        assert list(ssd.blocks_spanned(3 * block, block)) == [3]
+        assert list(ssd.blocks_spanned(0, 0)) == []
+
+    def test_registry_covers_every_kind(self):
+        assert {p.kind for p in PERSONALITIES.values()} == set(StorageKind)
+        assert set(_SERVICE_HANDLERS) == set(StorageKind)
+        for personality in PERSONALITIES.values():
+            assert isinstance(personality,
+                              (HddPersonality, SsdPersonality))
+
+
+class TestDeviceQueue:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown queue policy"):
+            DeviceQueue("lifo")
+        assert set(QUEUE_POLICIES) == {"fifo", "elevator"}
+
+    def test_idle_device_admits_immediately(self):
+        queue = DeviceQueue()
+        depth, wait = queue.admit(now=100)
+        assert (depth, wait) == (0, 0)
+
+    def test_busy_device_queues_the_arrival(self):
+        queue = DeviceQueue()
+        queue.commit(now=0, wait_ticks=0, service_ticks=50)
+        depth, wait = queue.admit(now=10)
+        assert depth == 1
+        assert wait == 40  # busy until 50, arrived at 10
+        done = queue.commit(10, wait, service_ticks=25)
+        assert done == 75
+        assert queue.busy_until == 75
+        assert queue.depth_max == 2
+
+    def test_completed_requests_leave_the_queue(self):
+        queue = DeviceQueue()
+        queue.commit(0, 0, 50)
+        depth, wait = queue.admit(now=60)
+        assert (depth, wait) == (0, 0)
+
+    def test_fifo_never_discounts_positioning(self):
+        queue = DeviceQueue("fifo")
+        for depth in range(5):
+            assert queue.positioning_scale(depth) == 1.0
+
+    def test_elevator_scale_deepens_and_saturates(self):
+        queue = DeviceQueue("elevator")
+        scales = [queue.positioning_scale(d) for d in range(10)]
+        assert scales[0] == 1.0
+        assert all(a > b for a, b in zip(scales[:9], scales[1:9]))
+        assert scales[8] == scales[9]  # clamped at depth 8
+
+
+class TestDriverState:
+    def test_hdd_state_tracks_head_position(self):
+        hdd = PERSONALITIES["hdd_ide"]
+        state = _state(hdd)
+        handler = _SERVICE_HANDLERS[hdd.kind]
+        first = handler(hdd, state, False, 7, 0, 4096, 1.0)
+        # Continuing at the previous end is sequential, much cheaper.
+        second = handler(hdd, state, False, 7, 4096, 4096, 1.0)
+        assert second < first
+        # A different file is a full seek again.
+        third = handler(hdd, state, False, 8, 8192, 4096, 1.0)
+        assert third == first
+
+    def test_ssd_erase_cliff_after_clean_budget(self):
+        ssd = PERSONALITIES["ssd"]
+        state = _state(ssd)
+        state.clean_blocks = 2  # tiny budget to hit the cliff quickly
+        handler = _SERVICE_HANDLERS[ssd.kind]
+        block = ssd.erase_block_bytes
+        costs = [handler(ssd, state, True, 1, i * block, 4096, 1.0)
+                 for i in range(4)]
+        # First two writes land in pre-erased blocks; the cliff follows.
+        assert costs[0] == costs[1]
+        assert costs[2] > costs[1]
+        assert costs[3] == costs[2]
+        # Rewriting an already-touched block pays no second erase.
+        rewrite = handler(ssd, state, True, 1, 3 * block, 4096, 1.0)
+        assert rewrite == costs[0]
+
+    def test_ssd_reads_never_touch_the_budget(self):
+        ssd = PERSONALITIES["ssd"]
+        state = _state(ssd)
+        before = state.clean_blocks
+        _SERVICE_HANDLERS[ssd.kind](ssd, state, False, 1, 0, 65536, 1.0)
+        assert state.clean_blocks == before
+        assert not state.touched_blocks

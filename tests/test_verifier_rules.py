@@ -370,6 +370,50 @@ def test_t405_catches_dead_span_cause(tmp_path):
     assert len(t405) == 1 and "GHOST" in t405[0].message
 
 
+_STORAGE_ENUM_FIXTURE = {
+    "repro/nt/storage/devices.py": """\
+        import enum
+
+        class StorageKind(enum.IntEnum):
+            HDD = 0
+            SSD = 1
+
+        PERSONALITIES = {
+            "hdd_ide": StorageKind.HDD,
+        }
+        """,
+}
+
+
+def test_t406_catches_unserviced_storage_kind(tmp_path):
+    files = dict(_STORAGE_ENUM_FIXTURE)
+    files["repro/nt/storage/driver.py"] = """\
+        from repro.nt.storage.devices import StorageKind
+
+        _SERVICE_HANDLERS = {
+            StorageKind.HDD: None,
+        }
+        """
+    findings = _findings_for(tmp_path, files)
+    t406 = [f for f in findings if f.rule == "T406"]
+    assert len(t406) == 1 and "StorageKind.SSD" in t406[0].message
+
+
+def test_t407_catches_unmountable_storage_kind(tmp_path):
+    findings = _findings_for(tmp_path, dict(_STORAGE_ENUM_FIXTURE))
+    t407 = [f for f in findings if f.rule == "T407"]
+    assert len(t407) == 1 and "StorageKind.SSD" in t407[0].message
+
+
+def test_storage_rules_quiet_on_real_tree():
+    # The live registry and handler table must cover every kind.
+    from repro.nt.storage.devices import PERSONALITIES, StorageKind
+    from repro.nt.storage.driver import _SERVICE_HANDLERS
+
+    assert set(_SERVICE_HANDLERS) == set(StorageKind)
+    assert ({p.kind for p in PERSONALITIES.values()} == set(StorageKind))
+
+
 # --------------------------------------------------------------------- #
 # Engine path handling and baselines.
 
