@@ -24,6 +24,8 @@ processes and machines.  The per-section analyses consume these tables:
   figure-8 burst/dispersion analysis.
 * :mod:`repro.analysis.openmetrics` — OpenMetrics text exposition of
   perf snapshots.
+* :mod:`repro.analysis.streaming` — bounded-memory mergeable streaming
+  aggregates (``StatsSketch``) with exact warehouse reconciliation.
 """
 
 from repro.analysis.warehouse import TraceWarehouse
@@ -76,6 +78,21 @@ from repro.analysis.openmetrics import (
     openmetrics_exposition,
     validate_openmetrics,
     write_openmetrics,
+)
+from repro.analysis.streaming import (
+    Digest,
+    MachineFold,
+    StatsSketch,
+    fold_collector,
+    fold_store_file,
+    format_streaming_report,
+    reconcile_sketch,
+    sketch_from_archive,
+    sketch_from_study,
+    sketch_from_warehouse,
+    streaming_category_profiles,
+    streaming_figure_series,
+    streaming_pattern_table,
 )
 
 __all__ = [
@@ -131,4 +148,17 @@ __all__ = [
     "openmetrics_exposition",
     "validate_openmetrics",
     "write_openmetrics",
+    "Digest",
+    "MachineFold",
+    "StatsSketch",
+    "fold_collector",
+    "fold_store_file",
+    "format_streaming_report",
+    "reconcile_sketch",
+    "sketch_from_archive",
+    "sketch_from_study",
+    "sketch_from_warehouse",
+    "streaming_category_profiles",
+    "streaming_figure_series",
+    "streaming_pattern_table",
 ]

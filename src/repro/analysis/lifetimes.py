@@ -140,23 +140,35 @@ def _sessions_by_path(instances: list["Instance"]
     return by_path
 
 
-def analyze_lifetimes(wh: "TraceWarehouse") -> LifetimeAnalysis:
-    """Match created files to their deaths and measure lifetimes."""
-    result = LifetimeAnalysis()
-    by_path = _sessions_by_path(wh.instances)
-    overwrite_lt: list[int] = []
-    delete_lt: list[int] = []
-    temp_lt: list[int] = []
-    ow_gaps: list[int] = []
-    del_gaps: list[int] = []
-    sizes: list[float] = []
-    size_lts: list[int] = []
+@dataclass(frozen=True)
+class Death:
+    """One matched file death (§6.3)."""
 
+    method: str           # 'overwrite' | 'explicit' | 'temporary'
+    lifetime: int         # ticks, creation to death
+    size: int             # file size at death (figure 7's x axis)
+    close_gap: int        # close-to-death gap, or -1 for temporary files
+    same_process: bool    # killer pid == creator pid
+    intervening_opens: int
+
+
+def death_events(instances: list["Instance"]
+                 ) -> tuple[int, list[Death]]:
+    """Match created files to their deaths; ``(n_created, deaths)``.
+
+    The single source of truth for the §6.3 death-matching walk, shared
+    by :func:`analyze_lifetimes` (whole warehouse) and the streaming fold
+    (:mod:`repro.analysis.streaming`, one machine at a time — the key is
+    machine-scoped, so partitioning by machine changes nothing).
+    """
+    n_created = 0
+    deaths: list[Death] = []
+    by_path = _sessions_by_path(instances)
     for _key, sessions in by_path.items():
         for idx, inst in enumerate(sessions):
             if not inst.was_created:
                 continue
-            result.n_created += 1
+            n_created += 1
             created_t = inst.open_t
             closed_t = inst.session_end_t
             last_size = inst.file_size_max
@@ -164,9 +176,10 @@ def analyze_lifetimes(wh: "TraceWarehouse") -> LifetimeAnalysis:
             # Temporary files die at their creating session's cleanup.
             if inst.temporary and inst.explicit_delete_t < 0:
                 lifetime = max(0, closed_t - created_t)
-                temp_lt.append(lifetime)
-                sizes.append(float(last_size))
-                size_lts.append(lifetime)
+                deaths.append(Death(
+                    method="temporary", lifetime=lifetime,
+                    size=last_size, close_gap=-1, same_process=True,
+                    intervening_opens=0))
                 continue
 
             # Walk forward for the first killing event.
@@ -188,24 +201,45 @@ def analyze_lifetimes(wh: "TraceWarehouse") -> LifetimeAnalysis:
             if death is None:
                 continue
             method, death_t, killer = death
-            lifetime = max(0, death_t - created_t)
-            sizes.append(float(last_size))
-            size_lts.append(lifetime)
-            same_process = killer.pid == inst.pid
-            if method == "overwrite":
-                overwrite_lt.append(lifetime)
-                ow_gaps.append(max(0, death_t - closed_t))
-                result.overwrite_total_matched += 1
-                if same_process:
-                    result.overwrite_same_process += 1
-            else:
-                delete_lt.append(lifetime)
-                del_gaps.append(max(0, death_t - closed_t))
-                result.delete_total_matched += 1
-                if same_process:
-                    result.delete_same_process += 1
-                if intervening_opens > 0:
-                    result.delete_with_intervening_opens += 1
+            deaths.append(Death(
+                method=method, lifetime=max(0, death_t - created_t),
+                size=last_size, close_gap=max(0, death_t - closed_t),
+                same_process=killer.pid == inst.pid,
+                intervening_opens=intervening_opens))
+    return n_created, deaths
+
+
+def analyze_lifetimes(wh: "TraceWarehouse") -> LifetimeAnalysis:
+    """Match created files to their deaths and measure lifetimes."""
+    result = LifetimeAnalysis()
+    overwrite_lt: list[int] = []
+    delete_lt: list[int] = []
+    temp_lt: list[int] = []
+    ow_gaps: list[int] = []
+    del_gaps: list[int] = []
+    sizes: list[float] = []
+    size_lts: list[int] = []
+
+    result.n_created, deaths = death_events(wh.instances)
+    for d in deaths:
+        sizes.append(float(d.size))
+        size_lts.append(d.lifetime)
+        if d.method == "temporary":
+            temp_lt.append(d.lifetime)
+        elif d.method == "overwrite":
+            overwrite_lt.append(d.lifetime)
+            ow_gaps.append(d.close_gap)
+            result.overwrite_total_matched += 1
+            if d.same_process:
+                result.overwrite_same_process += 1
+        else:
+            delete_lt.append(d.lifetime)
+            del_gaps.append(d.close_gap)
+            result.delete_total_matched += 1
+            if d.same_process:
+                result.delete_same_process += 1
+            if d.intervening_opens > 0:
+                result.delete_with_intervening_opens += 1
 
     result.overwrite_lifetimes = np.asarray(overwrite_lt, dtype=float)
     result.delete_lifetimes = np.asarray(delete_lt, dtype=float)

@@ -19,8 +19,9 @@ compatible stack.  Mapping rules:
 :func:`validate_openmetrics` is a small structural checker used by the
 tests and the CI smoke job: it verifies the grammar this module relies
 on (metric lines parse, families are contiguous and typed, counters end
-in ``_total``, the terminator is present) and returns the list of
-problems found.
+in ``_total``, every family carries exactly one ``# HELP`` line — the
+``storage.*`` device series included, the terminator is present) and
+returns the list of problems found.
 """
 
 from __future__ import annotations
@@ -121,7 +122,10 @@ def validate_openmetrics(text: str) -> list[str]:
     """Structural check of an OpenMetrics text exposition.
 
     Covers the subset of the format this exporter emits: returns a list
-    of problem strings (empty = valid).
+    of problem strings (empty = valid).  Beyond sample grammar it checks
+    family *metadata* coverage: every declared family — including the
+    ``storage.*`` device counters and gauges — must carry exactly one
+    well-formed ``# HELP`` line inside its contiguous block.
     """
     problems: list[str] = []
     if not text.endswith("\n"):
@@ -133,6 +137,7 @@ def validate_openmetrics(text: str) -> list[str]:
         problems.append("missing '# EOF' terminator on the last line")
     types: dict[str, str] = {}
     family_order: list[str] = []
+    helped: set[str] = set()
     current_family: str | None = None
     for i, line in enumerate(lines[:-1] if lines else [], start=1):
         if line.startswith("# TYPE "):
@@ -154,6 +159,30 @@ def validate_openmetrics(text: str) -> list[str]:
             types[name] = kind
             family_order.append(name)
             current_family = name
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                problems.append(f"line {i}: malformed HELP line")
+                continue
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                problems.append(
+                    f"line {i}: illegal family name {name!r} in HELP")
+                continue
+            if name not in types:
+                problems.append(
+                    f"line {i}: HELP for {name!r} before its TYPE "
+                    f"declaration")
+                continue
+            if name in helped:
+                problems.append(
+                    f"line {i}: family {name!r} has two HELP lines")
+            helped.add(name)
+            if name != current_family:
+                problems.append(
+                    f"line {i}: HELP for family {name!r} appears outside "
+                    f"its contiguous block")
             continue
         if line.startswith("#"):
             continue
@@ -194,4 +223,8 @@ def validate_openmetrics(text: str) -> list[str]:
             float(value)
         except ValueError:
             problems.append(f"line {i}: non-numeric value {value!r}")
+    for name in family_order:
+        if name not in helped:
+            problems.append(
+                f"family {name!r} has no HELP line (metadata coverage)")
     return problems

@@ -247,48 +247,82 @@ def build_instances(wh: "TraceWarehouse") -> list[Instance]:
 
 def _build_one(wh: "TraceWarehouse", gid: int,
                rows: np.ndarray) -> Optional[Instance]:
-    kind = wh.kind
-    create_row = None
-    for r in rows:
-        if kind[r] == int(TraceEventKind.IRP_CREATE):
-            create_row = int(r)
+    events = list(zip(
+        wh.kind[rows].tolist(), wh.t_start[rows].tolist(),
+        wh.t_end[rows].tolist(), wh.status[rows].tolist(),
+        wh.irp_flags[rows].tolist(), wh.offset[rows].tolist(),
+        wh.length[rows].tolist(), wh.returned[rows].tolist(),
+        wh.file_size[rows].tolist(), wh.disposition[rows].tolist(),
+        wh.options[rows].tolist(), wh.attributes[rows].tolist(),
+        wh.info[rows].tolist(), wh.pid[rows].tolist()))
+    fdim = wh.file_for(gid)
+    file_info = ((fdim.path, fdim.extension, fdim.volume_label,
+                  fdim.is_remote) if fdim is not None else None)
+
+    def process_lookup(pid: int):
+        proc = wh.process_for(pid)
+        return (proc.name, proc.interactive) if proc is not None else None
+
+    return build_instance(int(wh.machine_idx[rows[0]]), gid, events,
+                          file_info, process_lookup)
+
+
+def build_instance(machine_idx: int, fo_id: int, events,
+                   file_info, process_lookup) -> Optional[Instance]:
+    """Build one instance from time-ordered plain event tuples.
+
+    This is the single source of truth for instance semantics: the
+    columnar path (:func:`build_instances`, over warehouse rows) and the
+    streaming fold (:mod:`repro.analysis.streaming`, over store-file
+    records) both call it — which is what makes the streaming sketch
+    reconcile *exactly* against the materialized warehouse.
+
+    ``events`` are ``(kind, t_start, t_end, status, irp_flags, offset,
+    length, returned, file_size, disposition, options, attributes, info,
+    pid)`` tuples, sorted by ``t_start`` with a *stable* sort (ties keep
+    collector append order).  ``file_info`` is ``(path, extension,
+    volume_label, is_remote)`` or None; ``process_lookup(pid)`` returns
+    ``(name, interactive)`` or None.
+    """
+    create = None
+    for ev in events:
+        if ev[0] == int(TraceEventKind.IRP_CREATE):
+            create = ev
             break
-    if create_row is None:
+    if create is None:
         # Volume handles and kernel-only file objects have no create.
         return None
-    fdim = wh.file_for(gid)
-    pid = int(wh.pid[create_row])
-    proc = wh.process_for(pid)
+    pid = create[13]
+    proc = process_lookup(pid)
     inst = Instance(
-        fo_id=gid,
-        machine_idx=int(wh.machine_idx[create_row]),
+        fo_id=fo_id,
+        machine_idx=machine_idx,
         pid=pid,
-        process_name=proc.name if proc is not None else "system",
-        interactive=proc.interactive if proc is not None else False,
-        path=fdim.path if fdim is not None else "",
-        extension=fdim.extension if fdim is not None else "",
-        volume_label=fdim.volume_label if fdim is not None else "",
-        is_remote=fdim.is_remote if fdim is not None else False,
-        open_t=int(wh.t_start[create_row]),
-        open_status=int(wh.status[create_row]),
-        open_duration=int(wh.t_end[create_row] - wh.t_start[create_row]),
-        create_disposition=int(wh.disposition[create_row]),
-        create_result=(int(wh.returned[create_row])
-                       if wh.status[create_row] < 0xC0000000 else -1),
-        options=int(wh.options[create_row]),
-        attributes=int(wh.attributes[create_row]),
-        file_size_open=int(wh.file_size[create_row]),
+        process_name=proc[0] if proc is not None else "system",
+        interactive=proc[1] if proc is not None else False,
+        path=file_info[0] if file_info is not None else "",
+        extension=file_info[1] if file_info is not None else "",
+        volume_label=file_info[2] if file_info is not None else "",
+        is_remote=file_info[3] if file_info is not None else False,
+        open_t=create[1],
+        open_status=create[3],
+        open_duration=create[2] - create[1],
+        create_disposition=create[9],
+        create_result=(create[7] if create[3] < 0xC0000000 else -1),
+        options=create[10],
+        attributes=create[11],
+        file_size_open=create[8],
     )
     inst.is_directory_like = bool(inst.options & CreateOptions.DIRECTORY_FILE)
 
     raw_ops: list[DataOp] = []
     has_direct_data = False
-    for r in rows:
-        k = int(kind[r])
+    for (k, t, t_end, status, irp_flags, offset, length, returned,
+         file_size, _disposition, _options, _attributes, info,
+         _pid) in events:
         if k == int(TraceEventKind.IRP_CREATE):
             continue
-        t = int(wh.t_start[r])
-        inst.file_size_max = max(inst.file_size_max, int(wh.file_size[r]))
+        inst.file_size_max = max(inst.file_size_max, file_size)
         if k == int(TraceEventKind.IRP_CLEANUP):
             inst.cleanup_t = t
         elif k == int(TraceEventKind.IRP_CLOSE):
@@ -301,24 +335,23 @@ def _build_one(wh: "TraceWarehouse", gid: int,
                             int(TraceEventKind.FASTIO_READ))
             is_fastio = k in (int(TraceEventKind.FASTIO_READ),
                               int(TraceEventKind.FASTIO_WRITE))
-            is_paging = bool(wh.irp_flags[r] & 0x42)
+            is_paging = bool(irp_flags & 0x42)
             if not is_paging:
                 has_direct_data = True
             raw_ops.append(DataOp(
-                t=t, is_read=is_read, offset=int(wh.offset[r]),
-                returned=int(wh.returned[r]), is_fastio=is_fastio,
-                duration=int(wh.t_end[r] - wh.t_start[r]),
+                t=t, is_read=is_read, offset=offset,
+                returned=returned, is_fastio=is_fastio,
+                duration=t_end - t,
                 is_paging=is_paging))
         elif k == int(TraceEventKind.IRP_FLUSH_BUFFERS):
             inst.n_flushes += 1
         elif k == int(TraceEventKind.IRP_SET_INFORMATION):
             inst.n_control_ops += 1
-            info = int(wh.info[r])
             if info == int(SetInformationClass.DISPOSITION) \
-                    and wh.length[r] == 1 and wh.status[r] < 0xC0000000:
+                    and length == 1 and status < 0xC0000000:
                 inst.explicit_delete_t = t
             elif info == int(SetInformationClass.END_OF_FILE):
-                inst.truncated_to = int(wh.length[r])
+                inst.truncated_to = length
         elif k in _CONTROL_KINDS:
             inst.n_control_ops += 1
 

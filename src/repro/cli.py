@@ -5,6 +5,8 @@
     python -m repro run    --machines 6 --seconds 120 --out traces/ --perf
     python -m repro run    --machines 6 --seconds 120 --out traces/ --spans
     python -m repro run    --machines 6 --seconds 120 --out traces/ --metrics
+    python -m repro study  --machines 100 --workers auto --out study/
+    python -m repro report study/
     python -m repro report traces/
     python -m repro figures traces/ --out figure-data/
     python -m repro perf   --machines 2 --seconds 30
@@ -17,9 +19,16 @@
     python -m repro spans  attribution traces/
     python -m repro verify src/repro
 
-``run`` simulates a trace collection and archives it; ``report`` prints
-the paper's tables from an archive (or runs a fresh study when no archive
-is given); ``figures`` exports every figure's data series as CSV; ``perf``
+``run`` simulates a trace collection and archives it; ``study`` runs a
+paper-scale streaming campaign on one box — each machine's trace folds
+into a bounded-memory mergeable sketch the moment it completes (live
+console: per-machine progress, records/sec, queue-depth and dirty-page
+watermarks, phase ETA) and a deterministic ``nt-study-1`` artifact comes
+out, byte-identical across ``--workers`` counts; ``report`` prints
+the paper's tables from an archive, an ``nt-study-1`` artifact, or a
+fresh study — ``--streaming`` computes them with the bounded-memory
+folds and ``--reconcile`` proves them exactly equal to the materialized
+warehouse; ``figures`` exports every figure's data series as CSV; ``perf``
 prints the performance-monitor counter table (from a dumped ``perf.json``
 or a fresh study) and can emit a wall-clock pipeline baseline for CI;
 ``metrics`` analyses the flight-recorder sidecar of a ``--metrics``
@@ -116,21 +125,70 @@ def _build_parser() -> argparse.ArgumentParser:
                           " and bisection)")
     _add_workers_option(run)
 
+    study = sub.add_parser(
+        "study", help="run a paper-scale streaming campaign on one box")
+    study.add_argument("--machines", type=int, default=45,
+                       help="fleet size (the paper traced 45)")
+    study.add_argument("--weeks", type=float, default=None,
+                       help="simulated duration in weeks (the paper's 4);"
+                            " overrides --seconds")
+    study.add_argument("--seconds", type=float, default=60.0,
+                       help="simulated duration in seconds (default 60)")
+    study.add_argument("--seed", type=int, default=1998)
+    study.add_argument("--scale", type=float, default=0.12)
+    study.add_argument("--out", type=Path, default=None,
+                       help="write the deterministic nt-study-1 artifact"
+                            " here (a .json path, or a directory that"
+                            " gets study.json)")
+    study.add_argument("--report", action="store_true",
+                       help="print the streaming report (category table,"
+                            " table 3, latency bands) when done")
+    study.add_argument("--reconcile", action="store_true",
+                       help="re-run the study through the materialized"
+                            " TraceWarehouse and verify the streaming"
+                            " sketch matches it exactly (seed-scale"
+                            " studies only: this path is NOT bounded-"
+                            "memory)")
+    study.add_argument("--bench-json", type=Path, default=None,
+                       help="write the campaign baseline here (the CI"
+                            " BENCH_study baseline: deterministic sketch"
+                            " digest + wall-clock + peak memory)")
+    study.add_argument("--max-peak-mb", type=float, default=None,
+                       help="fail if tracemalloc peak memory exceeds this"
+                            " budget (the CI flat-memory gate)")
+    study.add_argument("--quiet", action="store_true",
+                       help="suppress the live campaign console")
+    _add_workers_option(study)
+
     report = sub.add_parser("report", help="print the paper's tables")
     report.add_argument("traces", type=Path, nargs="?", default=None,
-                        help=".nttrace archive directory (default: run a"
+                        help=".nttrace archive directory, or an"
+                             " nt-study-1 study.json artifact from"
+                             " `repro study --out` (default: run a"
                              " fresh study)")
     report.add_argument("--seed", type=int, default=1998)
     report.add_argument("--perf", action="store_true",
                         help="also print the perfmon counter table (from"
                              " the archive's perf.json, or the fresh"
                              " study)")
+    report.add_argument("--streaming", action="store_true",
+                        help="compute the tables with the bounded-memory"
+                             " streaming folds (one .nttrace at a time)"
+                             " instead of materializing the warehouse")
+    report.add_argument("--reconcile", action="store_true",
+                        help="with --streaming: also materialize the"
+                             " warehouse and verify the streaming sketch"
+                             " matches it exactly")
     _add_workers_option(report)
 
     figures = sub.add_parser("figures", help="export figure data as CSV")
     figures.add_argument("traces", type=Path, nargs="?", default=None)
     figures.add_argument("--out", type=Path, default=Path("figure-data"))
     figures.add_argument("--seed", type=int, default=1998)
+    figures.add_argument("--streaming", action="store_true",
+                         help="derive the figure series from the"
+                              " streaming sketch (bounded memory; CDF x"
+                              " positions come from digest bucket edges)")
     _add_workers_option(figures)
 
     perf = sub.add_parser(
@@ -387,12 +445,165 @@ def _study_meta(args: argparse.Namespace) -> dict:
             "seed": args.seed, "scale": args.scale}
 
 
+def cmd_study(args: argparse.Namespace) -> int:
+    import json
+    import tracemalloc
+
+    from repro import StudyConfig
+    from repro.analysis.streaming import (format_streaming_report,
+                                          reconcile_sketch)
+    from repro.workload.campaign import (ARTIFACT_FILENAME, CampaignConsole,
+                                         bench_payload, run_campaign,
+                                         study_artifact_bytes)
+
+    seconds = args.seconds
+    if args.weeks is not None:
+        seconds = args.weeks * 7 * 86_400.0
+    config = StudyConfig(
+        n_machines=args.machines, duration_seconds=seconds,
+        seed=args.seed, content_scale=args.scale, workers=args.workers)
+    console = CampaignConsole(args.machines, quiet=args.quiet)
+    gate_memory = (args.max_peak_mb is not None
+                   or args.bench_json is not None)
+    if gate_memory:
+        tracemalloc.start()
+    result = run_campaign(config, console)
+    peak_mb = None
+    if gate_memory:
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_mb = peak / (1024 * 1024)
+    rate = (result.total_records / result.wall_seconds
+            if result.wall_seconds else float("nan"))
+    print(f"campaign: {result.sketch.n_machines} machines, "
+          f"{result.total_records:,} records folded at {rate:,.0f} rec/s "
+          f"(sketch sha256 {result.sketch.sha256()[:16]})")
+    if peak_mb is not None:
+        print(f"peak traced memory: {peak_mb:.1f} MB")
+    status = 0
+    if args.reconcile:
+        from repro import TraceWarehouse, run_study
+        result_mat = run_study(config)
+        problems = reconcile_sketch(result.sketch,
+                                    TraceWarehouse.from_study(result_mat))
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"RECONCILIATION MISMATCH: {problem}",
+                      file=sys.stderr)
+        else:
+            print("reconciliation: streaming sketch matches the "
+                  "materialized warehouse exactly")
+    if args.out is not None:
+        path = args.out
+        if path.suffix != ".json":
+            path = path / ARTIFACT_FILENAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = study_artifact_bytes(result)
+        path.write_bytes(data)
+        print(f"wrote {path} ({len(data) / 1024:.0f} KB)")
+    if args.report:
+        print()
+        print(format_streaming_report(result.sketch, result.duration_ticks))
+    if args.bench_json is not None:
+        from repro.workload.parallel import resolve_workers
+
+        workers = (None if args.workers is None
+                   else resolve_workers(args.workers, args.machines))
+        payload = bench_payload(result, workers, peak_mb)
+        args.bench_json.parent.mkdir(parents=True, exist_ok=True)
+        args.bench_json.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        print(f"wrote campaign baseline to {args.bench_json}")
+    if args.max_peak_mb is not None and peak_mb > args.max_peak_mb:
+        print(f"MEMORY GATE: peak traced memory {peak_mb:.1f} MB exceeds "
+              f"the {args.max_peak_mb:.1f} MB budget", file=sys.stderr)
+        status = 1
+    return status
+
+
+def _study_artifact_path(traces: Optional[Path]) -> Optional[Path]:
+    """The nt-study-1 artifact ``traces`` points at, if any."""
+    if traces is None:
+        return None
+    if traces.is_file() and traces.suffix == ".json":
+        return traces
+    if traces.is_dir():
+        from repro.workload.campaign import ARTIFACT_FILENAME
+        candidate = traces / ARTIFACT_FILENAME
+        if candidate.exists() and not sorted(traces.glob("*.nttrace")):
+            return candidate
+    return None
+
+
+def _report_streaming(args: argparse.Namespace) -> int:
+    """`repro report --streaming`: tables off the bounded-memory folds."""
+    from repro.analysis.streaming import (format_streaming_report,
+                                          reconcile_sketch,
+                                          sketch_from_archive,
+                                          sketch_from_study)
+
+    if args.traces is not None:
+        try:
+            sketch = sketch_from_archive(args.traces)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"streamed {sketch.n_machines} machines from {args.traces}",
+              file=sys.stderr)
+        duration_ticks = None
+    else:
+        from repro import StudyConfig, run_study
+        result = run_study(StudyConfig(n_machines=6, duration_seconds=120,
+                                       seed=args.seed, workers=args.workers))
+        sketch = sketch_from_study(result)
+        duration_ticks = result.duration_ticks
+    print(format_streaming_report(sketch, duration_ticks))
+    if args.reconcile:
+        from repro import TraceWarehouse
+        from repro.nt.tracing.store import load_study
+        if args.traces is not None:
+            warehouse = TraceWarehouse(load_study(args.traces))
+        else:
+            warehouse = TraceWarehouse.from_study(result)
+        problems = reconcile_sketch(sketch, warehouse)
+        if problems:
+            for problem in problems:
+                print(f"RECONCILIATION MISMATCH: {problem}",
+                      file=sys.stderr)
+            return 1
+        print(f"\nreconciliation: streaming sketch matches the "
+              f"materialized warehouse exactly "
+              f"({sketch.n_records:,} records)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.activity import user_activity_table
     from repro.analysis.categories import by_category, format_category_table
     from repro.analysis.patterns import access_pattern_table
     from repro.analysis.report import summarize_observations
 
+    artifact = _study_artifact_path(args.traces)
+    if artifact is not None:
+        from repro.analysis.streaming import format_streaming_report
+        from repro.common.clock import ticks_from_seconds
+        from repro.workload.campaign import load_study_artifact
+        try:
+            doc, sketch = load_study_artifact(artifact)
+        except (ValueError, OSError, KeyError) as exc:
+            raise SystemExit(f"cannot read {artifact}: {exc}") from None
+        meta = doc.get("study", {})
+        print(f"nt-study-1 artifact: {artifact} "
+              f"({meta.get('machines')} machines, "
+              f"{meta.get('seconds')} s, seed {meta.get('seed')})",
+              file=sys.stderr)
+        duration = meta.get("seconds")
+        print(format_streaming_report(
+            sketch,
+            ticks_from_seconds(duration) if duration else None))
+        return 0
+    if args.streaming:
+        return _report_streaming(args)
     warehouse, result = _load_or_run(args.traces, args.seed, args.workers)
     counters = result.counters if result is not None else None
     print(summarize_observations(warehouse, counters).format())
@@ -449,8 +660,26 @@ def _print_archived_perf(traces: Path, strict: bool = False) -> None:
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures import figure_series, write_csv
 
-    warehouse, _result = _load_or_run(args.traces, args.seed, args.workers)
-    figures = figure_series(warehouse, np.random.default_rng(args.seed))
+    if args.streaming:
+        from repro.analysis.streaming import (sketch_from_archive,
+                                              sketch_from_study,
+                                              streaming_figure_series)
+        if args.traces is not None:
+            try:
+                sketch = sketch_from_archive(args.traces)
+            except (FileNotFoundError, ValueError) as exc:
+                raise SystemExit(str(exc)) from None
+        else:
+            from repro import StudyConfig, run_study
+            sketch = sketch_from_study(run_study(StudyConfig(
+                n_machines=6, duration_seconds=120, seed=args.seed,
+                workers=args.workers)))
+        figures = streaming_figure_series(
+            sketch, np.random.default_rng(args.seed))
+    else:
+        warehouse, _result = _load_or_run(args.traces, args.seed,
+                                          args.workers)
+        figures = figure_series(warehouse, np.random.default_rng(args.seed))
     paths = write_csv(figures, args.out)
     for path in paths:
         print(path)
@@ -869,7 +1098,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "report": cmd_report,
+    handlers = {"run": cmd_run, "study": cmd_study,
+                "report": cmd_report,
                 "figures": cmd_figures, "perf": cmd_perf,
                 "metrics": cmd_metrics, "profile": cmd_profile,
                 "replay": cmd_replay, "whatif": cmd_whatif,

@@ -137,6 +137,7 @@ class CacheManager:
         self._perf_ra_consumed = perf.counter("cc.readahead.pages_consumed")
         self._perf_flush_pages = perf.counter("cc.flush.pages")
         self._perf_evicted = perf.counter("cc.pages_evicted")
+        self._perf_dirty_peak = perf.gauge("cc.dirty_pages_peak")
         # Resident pages, split NT-style (§3.3) into two recency lists
         # keyed by (map_id, page):
         #   * the *standby* list holds clean pages in LRU order — the only
@@ -429,6 +430,8 @@ class CacheManager:
         if self._perf.enabled:
             self._perf_writes.add(1)
             self._perf_write_bytes.add(length)
+            if len(modified) > self._perf_dirty_peak.value:
+                self._perf_dirty_peak.set(len(modified))
         return NtStatus.SUCCESS, length
 
     # ------------------------------------------------------------------ #

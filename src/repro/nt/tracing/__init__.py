@@ -29,6 +29,7 @@ from repro.nt.tracing.spans import (
 from repro.nt.tracing.store import (
     STORE_FORMAT_VERSION,
     SUPPORTED_FORMAT_VERSIONS,
+    StoreStream,
     iter_trace_records,
     load_collector,
     load_study,
@@ -65,6 +66,7 @@ __all__ = [
     "write_chrome_trace",
     "STORE_FORMAT_VERSION",
     "SUPPORTED_FORMAT_VERSIONS",
+    "StoreStream",
     "iter_trace_records",
     "load_collector",
     "load_study",

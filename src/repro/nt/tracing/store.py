@@ -272,7 +272,7 @@ def read_store_header(path: Union[str, Path]) -> tuple[int, str, int]:
     return version, name, n_records
 
 
-def iter_trace_records(path: Union[str, Path]):
+def iter_trace_records(path: Union[str, Path], kinds=None):
     """Stream a store file's trace records without building the collector.
 
     Decompresses incrementally and yields one :class:`TraceRecord` at a
@@ -280,6 +280,12 @@ def iter_trace_records(path: Union[str, Path]):
     kind counts) holding only the compressed bytes plus one record in
     memory — the replay CLI uses this for the source side of the fidelity
     report.  Name records, processes, and snapshots are not materialised.
+
+    ``kinds`` is an optional predicate pushdown: an iterable of
+    :class:`TraceEventKind`/int values.  Records of any other kind are
+    skipped at the store layer by peeking only the leading kind word of
+    the packed row, before the full 15-field decode — equivalent to
+    filtering the unfiltered stream, just cheaper.
     """
     data = Path(path).read_bytes()
     _version, payload = _parse_store(path, data)
@@ -287,8 +293,84 @@ def iter_trace_records(path: Union[str, Path]):
     (name_len,) = struct.unpack("<I", reader.read(4))
     reader.read(name_len)  # machine name, skipped
     (n_records,) = struct.unpack("<Q", reader.read(8))
+    wanted = None if kinds is None else frozenset(int(k) for k in kinds)
+    size = _RECORD.size
     for _ in range(n_records):
-        yield TraceRecord(*_RECORD.unpack(reader.read(_RECORD.size)))
+        raw = reader.read(size)
+        if wanted is not None and \
+                int.from_bytes(raw[:8], "little", signed=True) not in wanted:
+            continue
+        yield TraceRecord(*_RECORD.unpack(raw))
+
+
+class StoreStream:
+    """One-pass streaming reader over every section of a store file.
+
+    The streaming analysis folds (:mod:`repro.analysis.streaming`) need
+    more than :func:`iter_trace_records` exposes — the name records and
+    the process table that follow the record section — without ever
+    materialising the collector.  Usage::
+
+        stream = StoreStream(path)
+        for record in stream.records():
+            ...
+        names, process_names, process_interactive = stream.tail_sections()
+
+    ``records()`` must be exhausted before ``tail_sections()``: the
+    payload is decompressed strictly forward, holding one record in
+    memory at a time.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        data = self.path.read_bytes()
+        self.version, payload = _parse_store(path, data)
+        self._reader = _StreamReader(path, payload)
+        (name_len,) = struct.unpack("<I", self._reader.read(4))
+        self.machine_name = self._reader.read(name_len).decode("utf-8")
+        (self.n_records,) = struct.unpack("<Q", self._reader.read(8))
+        self._records_left = self.n_records
+
+    def records(self, kinds=None):
+        """Yield the trace records; supports the same ``kinds`` pushdown
+        as :func:`iter_trace_records`."""
+        wanted = None if kinds is None else frozenset(int(k) for k in kinds)
+        size = _RECORD.size
+        while self._records_left:
+            self._records_left -= 1
+            raw = self._reader.read(size)
+            if wanted is not None and \
+                    int.from_bytes(raw[:8], "little",
+                                   signed=True) not in wanted:
+                continue
+            yield TraceRecord(*_RECORD.unpack(raw))
+
+    def tail_sections(self):
+        """(name records, process names, process interactivity) after the
+        record section.  Snapshots and spans are left unread."""
+        if self._records_left:
+            raise ValueError(
+                f"{self.path}: records() must be exhausted before "
+                f"tail_sections() ({self._records_left} records unread)")
+        reader = self._reader
+        (n_names,) = struct.unpack("<Q", reader.read(8))
+        names: list[NameRecord] = []
+        for _ in range(n_names):
+            fo_id, pid, is_remote, t = struct.unpack("<qq?q",
+                                                     reader.read(25))
+            path = _read_str(reader)
+            label = _read_str(reader)
+            names.append(NameRecord(
+                fo_id=fo_id, path=path, volume_label=label,
+                volume_is_remote=is_remote, pid=pid, t=t))
+        (n_procs,) = struct.unpack("<Q", reader.read(8))
+        process_names: dict[int, str] = {}
+        process_interactive: dict[int, bool] = {}
+        for _ in range(n_procs):
+            pid, interactive = struct.unpack("<q?", reader.read(9))
+            process_names[pid] = _read_str(reader)
+            process_interactive[pid] = interactive
+        return names, process_names, process_interactive
 
 
 def save_study(collectors, directory: Union[str, Path]) -> list[Path]:

@@ -1,0 +1,134 @@
+"""OpenMetrics metadata coverage: HELP/TYPE for every family.
+
+Satellite of the streaming-observability PR: the exposition must carry
+``# HELP`` alongside ``# TYPE`` for *every* family — the ``storage.*``
+device counters and gauges from the storage-device layer included — and
+the validator must reject expositions with missing, duplicated,
+misplaced, early, or malformed HELP lines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.openmetrics import (
+    metric_name,
+    openmetrics_exposition,
+    validate_openmetrics,
+)
+from repro.nt.fs.volume import Volume
+from repro.nt.io.irp import CreateDisposition, FileAccess
+from repro.nt.system import Machine, MachineConfig
+
+
+def _families_with_metadata(text: str) -> tuple[set, set]:
+    typed, helped = set(), set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            typed.add(line.split(" ")[2])
+        elif line.startswith("# HELP "):
+            helped.add(line.split(" ")[2])
+    return typed, helped
+
+
+@pytest.fixture(scope="module")
+def storage_snapshot():
+    """A perf snapshot from a machine with the storage-device layer
+    attached, with enough real I/O that every storage series moved."""
+    machine = Machine(MachineConfig(name="devbox", seed=3,
+                                    storage="hdd_ide"))
+    machine.mount("C", Volume("C", Volume.NTFS, capacity_bytes=2 * 1024**3))
+    process = machine.create_process("writer.exe")
+    w = machine.win32
+    access = FileAccess.GENERIC_READ | FileAccess.GENERIC_WRITE
+    status, handle = w.create_file(process, "C:\\bulk.dat", access=access,
+                                   disposition=CreateDisposition.CREATE)
+    assert status == 0, f"create failed: {status!r}"
+    for _ in range(64):
+        w.write_file(process, handle, 64 * 1024)
+    w.flush_file_buffers(process, handle)
+    w.read_file(process, handle, 64 * 1024, offset=0)
+    w.close_handle(process, handle)
+    return machine.perf.snapshot()
+
+
+class TestStorageMetadataCoverage:
+    def test_storage_families_carry_help(self, storage_snapshot):
+        text = openmetrics_exposition({"devbox": storage_snapshot})
+        typed, helped = _families_with_metadata(text)
+        storage = {name for name in typed
+                   if name.startswith("nt_storage_")}
+        # The storage-device layer exposes per-device counters and the
+        # queue-depth watermark gauge; all must be typed *and* helped.
+        assert storage, "no storage.* families in the exposition"
+        assert any("queue_depth_max" in name for name in storage)
+        assert any("requests" in name for name in storage)
+        assert storage <= helped
+        # Full coverage: no family anywhere is missing its HELP line.
+        assert typed == helped
+        assert validate_openmetrics(text) == []
+
+    def test_fleet_exposition_fully_covered(self, small_study):
+        text = openmetrics_exposition(small_study.perf)
+        typed, helped = _families_with_metadata(text)
+        assert typed and typed == helped
+        assert validate_openmetrics(text) == []
+
+    def test_cache_dirty_watermark_exposed(self, small_study):
+        text = openmetrics_exposition(small_study.perf)
+        name = metric_name("cc.dirty_pages_peak")
+        assert f"# TYPE {name} gauge" in text
+        assert f"# HELP {name} perf gauge cc.dirty_pages_peak" in text
+
+
+class TestHelpValidatorNegatives:
+    def test_family_without_help_fails(self):
+        text = ("# TYPE nt_storage_disk0_ops counter\n"
+                'nt_storage_disk0_ops_total{machine="m"} 1\n'
+                "# EOF\n")
+        problems = validate_openmetrics(text)
+        assert any("no HELP line" in p for p in problems)
+
+    def test_duplicate_help_fails(self):
+        text = ("# TYPE nt_a gauge\n"
+                "# HELP nt_a perf gauge a\n"
+                "# HELP nt_a perf gauge a\n"
+                'nt_a{machine="m"} 1\n'
+                "# EOF\n")
+        problems = validate_openmetrics(text)
+        assert any("two HELP lines" in p for p in problems)
+
+    def test_help_outside_block_fails(self):
+        text = ("# TYPE nt_a gauge\n"
+                "# HELP nt_a perf gauge a\n"
+                'nt_a{machine="m"} 1\n'
+                "# TYPE nt_b gauge\n"
+                "# HELP nt_a perf gauge a again\n"
+                "# HELP nt_b perf gauge b\n"
+                'nt_b{machine="m"} 2\n'
+                "# EOF\n")
+        problems = validate_openmetrics(text)
+        assert any("outside its contiguous block" in p for p in problems)
+
+    def test_help_before_type_fails(self):
+        text = ("# HELP nt_a perf gauge a\n"
+                "# TYPE nt_a gauge\n"
+                'nt_a{machine="m"} 1\n'
+                "# EOF\n")
+        problems = validate_openmetrics(text)
+        assert any("before its TYPE declaration" in p for p in problems)
+
+    def test_malformed_help_fails(self):
+        text = ("# TYPE nt_a gauge\n"
+                "# HELP nt_a\n"
+                'nt_a{machine="m"} 1\n'
+                "# EOF\n")
+        problems = validate_openmetrics(text)
+        assert any("malformed HELP" in p for p in problems)
+
+    def test_clean_exposition_passes(self):
+        text = ("# TYPE nt_a counter\n"
+                "# HELP nt_a perf counter a\n"
+                'nt_a_total{machine="m"} 3\n'
+                "# EOF\n")
+        assert validate_openmetrics(text) == []

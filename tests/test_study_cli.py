@@ -1,0 +1,168 @@
+"""The streaming campaign engine and the ``repro study`` CLI.
+
+Covers the campaign determinism contract (serial ≡ parallel, run-to-run
+byte-identical artifacts), the ``nt-study-1`` artifact round-trip through
+``repro report``, the ``BENCH_study`` baseline format, and the
+tracemalloc memory gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import StudyConfig
+from repro.cli import main as cli_main
+from repro.workload.campaign import (
+    CampaignConsole,
+    bench_payload,
+    load_study_artifact,
+    run_campaign,
+    study_artifact_bytes,
+)
+
+SMALL = dict(n_machines=3, duration_seconds=15.0, seed=5,
+             content_scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return run_campaign(StudyConfig(**SMALL))
+
+
+class TestCampaignEngine:
+    def test_rerun_is_byte_identical(self, small_campaign):
+        again = run_campaign(StudyConfig(**SMALL))
+        assert study_artifact_bytes(again) == \
+            study_artifact_bytes(small_campaign)
+
+    def test_parallel_matches_serial(self, small_campaign):
+        parallel = run_campaign(StudyConfig(workers=2, **SMALL))
+        assert study_artifact_bytes(parallel) == \
+            study_artifact_bytes(small_campaign)
+        assert parallel.machine_rows == small_campaign.machine_rows
+
+    def test_sketch_matches_study_fold(self, small_campaign):
+        # The campaign's fold-as-you-go sketch equals folding the full
+        # study result after the fact.
+        from repro import run_study
+        from repro.analysis.streaming import sketch_from_study
+        reference = sketch_from_study(run_study(StudyConfig(**SMALL)))
+        assert small_campaign.sketch.canonical_bytes() == \
+            reference.canonical_bytes()
+
+    def test_machine_rows_carry_watermarks(self, small_campaign):
+        assert len(small_campaign.machine_rows) == SMALL["n_machines"]
+        for row in small_campaign.machine_rows:
+            assert set(row) == {"index", "name", "category", "records",
+                                "queue_depth_peak", "dirty_pages_peak"}
+            assert row["records"] > 0
+            # Every machine writes through the cache manager, so the
+            # dirty-page watermark gauge must have moved.
+            assert row["dirty_pages_peak"] > 0
+
+    def test_console_counts_folds(self, small_campaign, capsys):
+        console = CampaignConsole(SMALL["n_machines"], quiet=True)
+        run_campaign(StudyConfig(**SMALL), console)
+        assert console.n_folded == SMALL["n_machines"]
+        assert console.records_folded == small_campaign.total_records
+        folded = [e for e in console.events
+                  if e["event"] == "machine-folded"]
+        assert [e["index"] for e in folded] == list(range(3))
+
+    def test_artifact_round_trip(self, small_campaign, tmp_path):
+        path = tmp_path / "study.json"
+        path.write_bytes(study_artifact_bytes(small_campaign))
+        doc, sketch = load_study_artifact(path)
+        assert doc["format"] == "nt-study-1"
+        assert doc["study"]["machines"] == SMALL["n_machines"]
+        assert sketch.canonical_bytes() == \
+            small_campaign.sketch.canonical_bytes()
+
+    def test_artifact_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "nt-perf-1"}))
+        with pytest.raises(ValueError, match="nt-study-1"):
+            load_study_artifact(path)
+
+    def test_bench_payload_shape(self, small_campaign):
+        payload = bench_payload(small_campaign, workers=None,
+                                peak_traced_mb=12.5)
+        assert payload["format"] == "nt-study-bench-1"
+        det = payload["deterministic"]
+        assert det["machines"] == SMALL["n_machines"]
+        assert det["records"] == small_campaign.total_records
+        assert det["sketch_sha256"] == small_campaign.sketch.sha256()
+        # Wall-clock and memory stay outside the deterministic block.
+        assert "wall_seconds" not in det
+        assert payload["peak_traced_mb"] == 12.5
+
+
+class TestStudyCli:
+    def test_study_writes_artifact_and_bench(self, tmp_path, capsys):
+        rc = cli_main([
+            "study", "--machines", "2", "--seconds", "10", "--seed", "5",
+            "--scale", "0.05", "--quiet", "--out", str(tmp_path / "study"),
+            "--bench-json", str(tmp_path / "bench.json"),
+            "--max-peak-mb", "512"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 machines" in out
+        assert "peak traced memory" in out
+        doc, sketch = load_study_artifact(tmp_path / "study" / "study.json")
+        assert sketch.n_machines == 2
+        bench = json.loads((tmp_path / "bench.json").read_text())
+        assert bench["format"] == "nt-study-bench-1"
+        assert bench["deterministic"]["sketch_sha256"] == sketch.sha256()
+
+    def test_memory_gate_failure(self, tmp_path, capsys):
+        rc = cli_main([
+            "study", "--machines", "1", "--seconds", "8", "--seed", "5",
+            "--scale", "0.05", "--quiet", "--max-peak-mb", "0.001"])
+        assert rc == 1
+        assert "MEMORY GATE" in capsys.readouterr().err
+
+    def test_reconcile_flag(self, capsys):
+        rc = cli_main([
+            "study", "--machines", "1", "--seconds", "8", "--seed", "5",
+            "--scale", "0.05", "--quiet", "--reconcile"])
+        assert rc == 0
+        assert "matches the materialized warehouse exactly" in \
+            capsys.readouterr().out
+
+    def test_report_reads_artifact(self, tmp_path, capsys):
+        cli_main(["study", "--machines", "2", "--seconds", "10",
+                  "--seed", "5", "--scale", "0.05", "--quiet",
+                  "--out", str(tmp_path / "study")])
+        capsys.readouterr()
+        rc = cli_main(["report", str(tmp_path / "study")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "nt-study-1 artifact" in captured.err
+        assert "Streaming study sketch" in captured.out
+        assert "table 3" in captured.out
+
+    def test_report_streaming_reconcile_archive(self, tmp_path, capsys):
+        rc = cli_main(["run", "--machines", "2", "--seconds", "10",
+                       "--seed", "5", "--scale", "0.05",
+                       "--out", str(tmp_path / "traces")])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli_main(["report", str(tmp_path / "traces"),
+                       "--streaming", "--reconcile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "matches the materialized warehouse exactly" in captured.out
+
+    def test_figures_streaming(self, tmp_path, capsys):
+        cli_main(["run", "--machines", "2", "--seconds", "10",
+                  "--seed", "5", "--scale", "0.05",
+                  "--out", str(tmp_path / "traces")])
+        capsys.readouterr()
+        rc = cli_main(["figures", str(tmp_path / "traces"), "--streaming",
+                       "--out", str(tmp_path / "figs")])
+        assert rc == 0
+        written = {p.name for p in (tmp_path / "figs").glob("*.csv")}
+        assert "fig13_latency.csv" in written
+        assert "fig14_request_size.csv" in written
