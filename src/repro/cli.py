@@ -337,6 +337,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              " justification; stale entries fail the run)")
     verify.add_argument("--rules", action="store_true",
                         help="print the rule catalog and exit")
+    verify.add_argument("--sarif", type=Path, default=None,
+                        help="write findings (kept and suppressed) as a"
+                             " SARIF 2.1.0 log here")
+    verify.add_argument("--cache", type=Path, default=None,
+                        help="content-hash cache for interprocedural"
+                             " flow summaries (created on first run)")
+    verify.add_argument("--bench-json", type=Path, default=None,
+                        help="write per-rule runtime and cache stats"
+                             " here (the CI rules_runtime block)")
     return parser
 
 
@@ -1080,7 +1089,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     except BaselineError as exc:
         raise SystemExit(str(exc)) from None
     try:
-        report = verify_paths(args.paths, suppressions)
+        report = verify_paths(args.paths, suppressions,
+                              cache_path=args.cache)
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     for finding in report.findings:
@@ -1089,6 +1099,37 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(f"{args.baseline}: stale suppression ({entry.rule} "
               f"{entry.path} match={entry.match!r}) no longer matches "
               "anything — remove it", file=sys.stderr)
+    if args.sarif is not None:
+        from repro.verifier.sarif import write_sarif
+        write_sarif(report, args.sarif, suppressions)
+        print(f"wrote SARIF log to {args.sarif}", file=sys.stderr)
+    if args.bench_json is not None:
+        import json as _json
+        stats = report.cache_stats
+        doc = {
+            "format": "nt-verifier-bench-1",
+            "deterministic": {
+                "files": report.n_files,
+                "findings": len(report.findings),
+                "suppressed": len(report.suppressed),
+                "stale": len(report.stale),
+            },
+            "rules_runtime": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(report.timings.items())},
+            "cache": None if stats is None else {
+                "hits": stats.hits, "misses": stats.misses,
+                "loaded": stats.loaded},
+        }
+        args.bench_json.parent.mkdir(parents=True, exist_ok=True)
+        args.bench_json.write_text(
+            _json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote verify runtime stats to {args.bench_json}",
+              file=sys.stderr)
+    if report.cache_stats is not None:
+        print(f"flow cache: {report.cache_stats.hits} hit(s), "
+              f"{report.cache_stats.misses} miss(es)", file=sys.stderr)
     print(f"verified {report.n_files} files: "
           f"{len(report.findings)} finding(s), "
           f"{len(report.suppressed)} suppressed by baseline",

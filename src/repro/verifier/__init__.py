@@ -3,10 +3,14 @@
 NT ships Driver Verifier to machine-check the IRP protocol rules every
 driver must obey; this package is the equivalent for the simulator's
 own invariants.  An AST-based rule engine (stdlib :mod:`ast`, no
-third-party dependencies) checks four rule families — determinism
-(D), IRP completion protocol (P), layering (L), and op-enum
-exhaustiveness (T) — against a justified suppression baseline
-(``verifier_baseline.toml``).  ``repro verify [PATHS]`` is the CLI.
+third-party dependencies) checks six rule families — determinism
+(D), IRP completion protocol (P), layering (L), op-enum
+exhaustiveness (T), interprocedural determinism taint (F), and the
+tick/byte/seconds unit lattice (U) — against a justified suppression
+baseline (``verifier_baseline.toml``).  The F and U families run on a
+project-wide symbol table and call graph (:mod:`repro.verifier.flow`)
+with a content-hash summary cache; findings export to SARIF 2.1.0 for
+CI annotation.  ``repro verify [PATHS]`` is the CLI.
 
 The static pass is paired with a runtime Driver-Verifier mode
 (:mod:`repro.nt.io.verifier`, ``MachineConfig.verifier_enabled``) that
@@ -19,9 +23,11 @@ from repro.verifier.baseline import (
     load_baseline,
     parse_baseline,
 )
+from repro.verifier.astcache import CacheStats, FlowCache
 from repro.verifier.engine import (
     ModuleIndex,
     ModuleInfo,
+    VerifyContext,
     VerifyReport,
     collect_files,
     load_modules,
@@ -30,21 +36,28 @@ from repro.verifier.engine import (
 )
 from repro.verifier.findings import Finding
 from repro.verifier.rules import MODULE_RULES, RULE_CATALOG, TREE_RULES
+from repro.verifier.sarif import to_sarif, validate_sarif, write_sarif
 
 __all__ = [
     "BaselineError",
+    "CacheStats",
     "Finding",
+    "FlowCache",
     "MODULE_RULES",
     "ModuleIndex",
     "ModuleInfo",
     "RULE_CATALOG",
     "Suppression",
     "TREE_RULES",
+    "VerifyContext",
     "VerifyReport",
     "collect_files",
     "load_baseline",
     "load_modules",
     "parse_baseline",
     "run_rules",
+    "to_sarif",
+    "validate_sarif",
     "verify_paths",
+    "write_sarif",
 ]

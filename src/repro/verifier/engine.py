@@ -18,6 +18,7 @@ itself never prints — the CLI owns presentation and exit codes.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Sequence
@@ -129,16 +130,47 @@ def load_modules(files: Sequence[Path], root: "Path | None" = None,
     return ModuleIndex(modules=modules)
 
 
+@dataclass
+class VerifyContext:
+    """Run-scoped state shared between the engine and context-aware rules.
+
+    ``cache_path`` points the flow rules at their content-hash summary
+    cache; ``cache_stats`` is filled in by the flow rule when a cache is
+    in play.  ``timings`` maps rule function name to wall seconds spent
+    — host-side telemetry only, never part of findings.
+    """
+
+    cache_path: "Path | None" = None
+    cache_stats: object = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
 def run_rules(index: ModuleIndex,
               module_rules: Sequence[ModuleRule],
-              tree_rules: Sequence[TreeRule]) -> List[Finding]:
-    """Run every rule over the index and return sorted findings."""
+              tree_rules: Sequence[TreeRule],
+              context: "VerifyContext | None" = None) -> List[Finding]:
+    """Run every rule over the index and return sorted findings.
+
+    Rules carrying a truthy ``wants_context`` attribute are called with
+    ``(index, context)``; every other rule keeps the plain signature.
+    Per-rule wall time accumulates into ``context.timings``.
+    """
     findings: List[Finding] = []
-    for module in index.modules:
-        for rule in module_rules:
+    timings = context.timings if context is not None else {}
+    for rule in module_rules:
+        started = time.perf_counter()
+        for module in index.modules:
             findings.extend(rule(module))
+        timings[rule.__name__] = (timings.get(rule.__name__, 0.0)
+                                  + time.perf_counter() - started)
     for rule in tree_rules:
-        findings.extend(rule(index))
+        started = time.perf_counter()
+        if getattr(rule, "wants_context", False):
+            findings.extend(rule(index, context))
+        else:
+            findings.extend(rule(index))
+        timings[rule.__name__] = (timings.get(rule.__name__, 0.0)
+                                  + time.perf_counter() - started)
     return sorted(set(findings))
 
 
@@ -150,6 +182,8 @@ class VerifyReport:
     suppressed: List[Finding]      # covered by the baseline
     stale: List[Suppression]       # baseline entries that covered nothing
     n_files: int
+    timings: Dict[str, float] = field(default_factory=dict)
+    cache_stats: object = None     # astcache.CacheStats when caching
 
     @property
     def clean(self) -> bool:
@@ -158,13 +192,16 @@ class VerifyReport:
 
 def verify_paths(paths: Sequence[Path],
                  suppressions: "List[Suppression] | None" = None,
-                 root: "Path | None" = None) -> VerifyReport:
+                 root: "Path | None" = None,
+                 cache_path: "Path | None" = None) -> VerifyReport:
     """Collect, parse, and check ``paths`` against the full rule set."""
     from repro.verifier.rules import MODULE_RULES, TREE_RULES
 
     files = collect_files(paths)
     index = load_modules(files, root=root)
-    findings = run_rules(index, MODULE_RULES, TREE_RULES)
+    context = VerifyContext(cache_path=cache_path)
+    findings = run_rules(index, MODULE_RULES, TREE_RULES, context)
     kept, quieted, stale = apply_baseline(findings, suppressions or [])
     return VerifyReport(findings=kept, suppressed=quieted, stale=stale,
-                        n_files=len(files))
+                        n_files=len(files), timings=context.timings,
+                        cache_stats=context.cache_stats)

@@ -1,0 +1,103 @@
+"""Orchestrator for the interprocedural rule families (F6xx, U8xx).
+
+``check_flow`` is the single tree rule the engine registers.  Per run
+it:
+
+1. builds the project symbol table (:mod:`repro.verifier.symbols`);
+2. per module, extracts a *summary* — call-graph edges, determinism
+   sources, identity-flow facts, unit findings — either fresh or from
+   the content-hash cache (:mod:`repro.verifier.astcache`);
+3. runs the cheap global passes over the merged summaries: F601
+   transitive taint, F602 identity-flow resolution.
+
+Step 2 is the only whole-program-sized cost, which is exactly what the
+cache keys by ``(file_sha, symbols_sha)``; steps 1 and 3 are linear and
+rerun every time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.verifier.astcache import (
+    FlowCache,
+    file_digest,
+    symbols_digest,
+)
+from repro.verifier.callgraph import CallSite, GraphBuilder
+from repro.verifier.engine import ModuleIndex, ModuleInfo
+from repro.verifier.findings import Finding
+from repro.verifier.rules_flow import (
+    ModuleFlowFacts,
+    direct_sources,
+    extract_flow_facts,
+    f601_findings,
+    f602_findings,
+)
+from repro.verifier.rules_units import unit_findings
+from repro.verifier.symbols import build_symbols
+
+
+def _summarize(module: ModuleInfo, builder: GraphBuilder) -> dict:
+    """The cacheable per-module summary (plain JSON types only)."""
+    return {
+        "edges": [[s.caller, s.callee, s.line]
+                  for s in builder.module_edges(module)],
+        "sources": {
+            fn: [[name, why, line] for name, why, line in hits]
+            for fn, hits in direct_sources(module, builder).items()},
+        "facts": extract_flow_facts(module, builder).to_doc(),
+        "units": [[f.path, f.line, f.rule, f.message]
+                  for f in unit_findings(module, builder)],
+    }
+
+
+def analyze(index: ModuleIndex,
+            cache: "FlowCache | None" = None) -> List[Finding]:
+    """Run every interprocedural rule over ``index``."""
+    table = build_symbols(index)
+    builder = GraphBuilder(index, table)
+    symbols_sha = symbols_digest(table)
+    if cache is None:
+        cache = FlowCache()
+
+    edges: Dict[str, List[CallSite]] = {}
+    sources: Dict[str, List[Tuple[str, str, int]]] = {}
+    all_facts: Dict[str, ModuleFlowFacts] = {}
+    display_paths: Dict[str, str] = {}
+    findings: List[Finding] = []
+
+    for module in index.modules:
+        display_paths[module.name] = module.display_path
+        file_sha = file_digest(module.source)
+        summary = cache.get(module.name, file_sha, symbols_sha)
+        if summary is None:
+            summary = _summarize(module, builder)
+            cache.put(module.name, file_sha, symbols_sha, summary)
+        for caller, callee, line in summary["edges"]:
+            edges.setdefault(caller, []).append(
+                CallSite(caller, callee, line))
+        for fn, hits in summary["sources"].items():
+            sources[fn] = [(name, why, line) for name, why, line in hits]
+        all_facts[module.name] = ModuleFlowFacts.from_doc(
+            summary["facts"])
+        findings.extend(Finding(path, line, rule, message)
+                        for path, line, rule, message in summary["units"])
+
+    findings.extend(f601_findings(table, edges, sources, display_paths))
+    findings.extend(f602_findings(table, all_facts, display_paths))
+    cache.save()
+    return sorted(set(findings))
+
+
+def check_flow(index: ModuleIndex,
+               context=None) -> Iterable[Finding]:
+    """Tree rule: interprocedural determinism taint + unit lattice."""
+    cache = None
+    if context is not None and context.cache_path is not None:
+        cache = FlowCache.load(context.cache_path)
+        context.cache_stats = cache.stats
+    return analyze(index, cache)
+
+
+check_flow.wants_context = True

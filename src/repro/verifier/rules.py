@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.verifier.engine import ModuleRule, TreeRule
+from repro.verifier.flow import check_flow
 from repro.verifier.rules_determinism import check_determinism
 from repro.verifier.rules_exhaustiveness import check_exhaustiveness
 from repro.verifier.rules_layering import check_layering
@@ -23,6 +24,7 @@ MODULE_RULES: List[ModuleRule] = [
 
 TREE_RULES: List[TreeRule] = [
     check_exhaustiveness,
+    check_flow,
 ]
 
 RULE_CATALOG: List[Tuple[str, str]] = [
@@ -30,7 +32,8 @@ RULE_CATALOG: List[Tuple[str, str]] = [
              "random.*, numpy legacy global RNG, uuid1/4, os.urandom, "
              "secrets.*)"),
     ("D102", "RNG constructed without a seed (Random(), default_rng())"),
-    ("D103", "os.listdir/Path.iterdir/glob result used without sorted()"),
+    ("D103", "directory listing (os.listdir/scandir/walk, glob.glob/"
+             "iglob, Path.iterdir/glob/rglob) used without sorted()"),
     ("D201", "id(...) in repro.nt/repro.workload — identity-keyed state "
              "varies across processes"),
     ("D202", "iteration over a set-typed local/attribute in "
@@ -51,4 +54,16 @@ RULE_CATALOG: List[Tuple[str, str]] = [
     ("T406", "StorageKind member missing from StorageDriver's "
              "_SERVICE_HANDLERS table"),
     ("T407", "StorageKind member not used by any PERSONALITIES entry"),
+    ("F601", "sim-scope function transitively reaches a wall-clock/"
+             "entropy source through the call graph (reported at the "
+             "earliest sim-scope frame)"),
+    ("F602", "identity-dependent value (id(), default object hash) "
+             "flows into an iterated/ordered/serialized container "
+             "across function boundaries — the dirty_maps bug class"),
+    ("U801", "ticks/bytes/seconds quantities mixed in arithmetic, "
+             "comparison, or a call argument without an explicit "
+             "conversion constant"),
+    ("U802", "float-producing expression flows into tick-valued state "
+             "in the exact-arithmetic layers (repro.nt.storage, "
+             "repro.nt.cache, repro.common.clock)"),
 ]

@@ -104,7 +104,8 @@ def _check_banned_calls(module: ModuleInfo) -> Iterator[Finding]:
 # --------------------------------------------------------------------- #
 # D103: unsorted directory listings.
 
-_LISTING_CALLS = {"os.listdir", "os.scandir", "os.walk"}
+_LISTING_CALLS = {"os.listdir", "os.scandir", "os.walk",
+                  "glob.glob", "glob.iglob"}
 _LISTING_METHODS = {"iterdir", "glob", "rglob"}
 
 

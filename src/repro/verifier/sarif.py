@@ -1,0 +1,202 @@
+"""SARIF 2.1.0 export for verifier findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+hosts ingest to annotate pull requests inline.  ``to_sarif`` renders a
+:class:`~repro.verifier.engine.VerifyReport` into one SARIF ``run``:
+kept findings become failing results, baseline-suppressed findings are
+included with an ``external`` suppression carrying the baseline
+justification (so review tooling shows *why* a hit is sanctioned
+instead of hiding it).
+
+``validate_sarif`` is a dependency-free structural validator for the
+subset this exporter emits — the CI job and the unit tests both run it
+on the artifact, so a malformed export fails fast rather than being
+silently dropped by the upload step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.verifier.baseline import Suppression
+from repro.verifier.engine import VerifyReport
+from repro.verifier.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-verify"
+
+
+def _rule_index(catalog: Sequence[tuple]) -> Dict[str, int]:
+    return {rule_id: i for i, (rule_id, _desc) in enumerate(catalog)}
+
+
+def _result(finding: Finding, indices: Dict[str, int],
+            suppression: Optional[Suppression]) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": "note" if suppression is not None else "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "REPOROOT"},
+                "region": {"startLine": finding.line},
+            },
+        }],
+        "suppressions": [],
+    }
+    if finding.rule in indices:
+        result["ruleIndex"] = indices[finding.rule]
+    if suppression is not None:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": suppression.justification,
+        }]
+    return result
+
+
+def _covering(finding: Finding,
+              suppressions: Sequence[Suppression]) -> Optional[Suppression]:
+    for entry in suppressions:
+        if entry.covers(finding):
+            return entry
+    return None  # pragma: no cover - suppressed implies a cover
+
+
+def to_sarif(report: VerifyReport,
+             suppressions: Sequence[Suppression] = ()) -> dict:
+    """Render ``report`` as a SARIF 2.1.0 log (a plain dict)."""
+    from repro.verifier.rules import RULE_CATALOG
+
+    indices = _rule_index(RULE_CATALOG)
+    results = [_result(f, indices, None) for f in report.findings]
+    results.extend(_result(f, indices, _covering(f, suppressions))
+                   for f in report.suppressed)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri":
+                        "https://example.invalid/repro-verifier",
+                    "rules": [
+                        {"id": rule_id,
+                         "shortDescription": {"text": description}}
+                        for rule_id, description in RULE_CATALOG],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {
+                "REPOROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(report: VerifyReport, path: Path,
+                suppressions: Sequence[Suppression] = ()) -> None:
+    doc = to_sarif(report, suppressions)
+    errors = validate_sarif(doc)
+    if errors:  # pragma: no cover - exporter bug, caught in tests
+        raise ValueError("invalid SARIF produced: " + "; ".join(errors))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def validate_sarif(doc: object) -> List[str]:
+    """Structural check of the SARIF subset this tool emits.
+
+    Returns a list of human-readable problems; empty means valid.
+    """
+    errors: List[str] = []
+
+    def expect(cond: bool, message: str) -> bool:
+        if not cond:
+            errors.append(message)
+        return cond
+
+    if not expect(isinstance(doc, dict), "log must be an object"):
+        return errors
+    expect(doc.get("version") == SARIF_VERSION,
+           f"version must be {SARIF_VERSION!r}")
+    expect(isinstance(doc.get("$schema"), str), "$schema must be a string")
+    runs = doc.get("runs")
+    if not expect(isinstance(runs, list) and len(runs) >= 1,
+                  "runs must be a non-empty array"):
+        return errors
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not expect(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver", {}) \
+            if isinstance(run.get("tool"), dict) else {}
+        expect(isinstance(driver.get("name"), str) and driver.get("name"),
+               f"{where}.tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        if expect(isinstance(rules, list),
+                  f"{where}.tool.driver.rules must be an array"):
+            for rj, rule in enumerate(rules):
+                ok = (isinstance(rule, dict)
+                      and isinstance(rule.get("id"), str))
+                expect(ok, f"{where}.tool.driver.rules[{rj}] needs an id")
+                if ok:
+                    rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not expect(isinstance(results, list),
+                      f"{where}.results must be an array"):
+            continue
+        for si, result in enumerate(results):
+            rw = f"{where}.results[{si}]"
+            if not expect(isinstance(result, dict),
+                          f"{rw} must be an object"):
+                continue
+            rule_id = result.get("ruleId")
+            expect(isinstance(rule_id, str) and bool(rule_id),
+                   f"{rw}.ruleId must be a non-empty string")
+            if rule_ids and isinstance(rule_id, str):
+                expect(rule_id in rule_ids,
+                       f"{rw}.ruleId {rule_id!r} not in driver.rules")
+            expect(result.get("level") in ("none", "note", "warning",
+                                           "error"),
+                   f"{rw}.level must be a SARIF level")
+            message = result.get("message")
+            expect(isinstance(message, dict)
+                   and isinstance(message.get("text"), str),
+                   f"{rw}.message.text must be a string")
+            locations = result.get("locations")
+            if expect(isinstance(locations, list) and locations,
+                      f"{rw}.locations must be a non-empty array"):
+                for li, loc in enumerate(locations):
+                    lw = f"{rw}.locations[{li}]"
+                    phys = (loc.get("physicalLocation")
+                            if isinstance(loc, dict) else None)
+                    if not expect(isinstance(phys, dict),
+                                  f"{lw}.physicalLocation required"):
+                        continue
+                    art = phys.get("artifactLocation")
+                    expect(isinstance(art, dict)
+                           and isinstance(art.get("uri"), str),
+                           f"{lw} artifactLocation.uri must be a string")
+                    region = phys.get("region")
+                    expect(isinstance(region, dict)
+                           and isinstance(region.get("startLine"), int)
+                           and region["startLine"] >= 1,
+                           f"{lw} region.startLine must be a positive int")
+            suppressions = result.get("suppressions")
+            if suppressions is not None and expect(
+                    isinstance(suppressions, list),
+                    f"{rw}.suppressions must be an array"):
+                for pi, sup in enumerate(suppressions):
+                    expect(isinstance(sup, dict)
+                           and sup.get("kind") in ("inSource", "external"),
+                           f"{rw}.suppressions[{pi}].kind must be "
+                           "inSource or external")
+    return errors

@@ -211,7 +211,12 @@ def _apportion(weights: Sequence[float], total: int) -> list[int]:
     counts = np.floor(exact).astype(int)
     remainders = exact - counts
     short = total - int(counts.sum())
-    for idx in np.argsort(-remainders)[:short]:
+    # Tie-break equal remainders by weight, not position: the granted
+    # count multiset is then invariant under permuting the categories.
+    # (Weights that tie have identical exact shares, so either order
+    # yields the same multiset.)
+    order = np.lexsort((-w, -remainders))
+    for idx in order[:short]:
         counts[idx] += 1
     return [int(c) for c in counts]
 

@@ -134,7 +134,7 @@ class TestCli:
         rc = cli_main(["figures", str(tmp_path / "t"),
                        "--out", str(tmp_path / "figs")])
         assert rc == 0
-        assert list((tmp_path / "figs").glob("*.csv"))
+        assert sorted((tmp_path / "figs").glob("*.csv"))
 
     def test_report_empty_archive_fails(self, tmp_path):
         (tmp_path / "empty").mkdir()

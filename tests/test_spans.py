@@ -340,7 +340,7 @@ class TestSpansCli:
                          "--scale", "0.1", "--out", str(out),
                          "--spans"]) == 0
         assert "causal spans" in capsys.readouterr().out
-        archives = list(out.glob("*.nttrace"))
+        archives = sorted(out.glob("*.nttrace"))
         assert archives
         assert all(p.read_bytes().startswith(b"NTTRACE3")
                    for p in archives)

@@ -163,6 +163,6 @@ class TestStudyCli:
         rc = cli_main(["figures", str(tmp_path / "traces"), "--streaming",
                        "--out", str(tmp_path / "figs")])
         assert rc == 0
-        written = {p.name for p in (tmp_path / "figs").glob("*.csv")}
+        written = {p.name for p in sorted((tmp_path / "figs").glob("*.csv"))}
         assert "fig13_latency.csv" in written
         assert "fig14_request_size.csv" in written

@@ -1,0 +1,148 @@
+"""The flow-summary cache: correctness before speed.
+
+The cache must never change what verify reports — findings with a warm
+cache must be byte-identical to findings computed fresh — and editing
+one function body must re-extract only that file while every other
+summary is reused.  Interface edits (a signature change) conservatively
+invalidate everything, which is asserted too: a stale summary is worse
+than a slow verify.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.verifier import collect_files, load_modules
+from repro.verifier.astcache import CACHE_VERSION, FlowCache
+from repro.verifier.flow import analyze
+
+FILES = {
+    "repro/nt/helpers.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    "repro/nt/engine.py": """\
+        from repro.nt.helpers import stamp
+
+        def advance(state):
+            state.t = stamp()
+        """,
+    "repro/nt/quiet.py": """\
+        def double(n_ticks):
+            return n_ticks * 2
+        """,
+}
+
+
+def _write_tree(root: Path, files: dict) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+
+
+def _load(root: Path, base: Path):
+    return load_modules(collect_files([root]), root=base)
+
+
+def test_warm_findings_identical_to_cold(tmp_path):
+    root = tmp_path / "tree"
+    _write_tree(root, FILES)
+    cache_path = tmp_path / "cache.json"
+
+    cold_cache = FlowCache.load(cache_path)
+    cold = analyze(_load(root, tmp_path), cold_cache)
+    assert cold_cache.stats.misses > 0 and cold_cache.stats.hits == 0
+
+    warm_cache = FlowCache.load(cache_path)
+    warm = analyze(_load(root, tmp_path), warm_cache)
+    assert warm_cache.stats.misses == 0
+    assert warm_cache.stats.hits == cold_cache.stats.misses
+    assert warm == cold
+
+    bare = analyze(_load(root, tmp_path))  # no cache at all
+    assert bare == cold
+
+
+def test_body_edit_reextracts_only_that_file(tmp_path):
+    root = tmp_path / "tree"
+    _write_tree(root, FILES)
+    cache_path = tmp_path / "cache.json"
+    analyze(_load(root, tmp_path), FlowCache.load(cache_path))
+
+    # Body-only edit: same signature, new constant.
+    (root / "repro/nt/quiet.py").write_text(textwrap.dedent("""\
+        def double(n_ticks):
+            return n_ticks * 4
+        """))
+    cache = FlowCache.load(cache_path)
+    analyze(_load(root, tmp_path), cache)
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == cache.stats.total - 1
+
+
+def test_signature_edit_invalidates_every_summary(tmp_path):
+    root = tmp_path / "tree"
+    _write_tree(root, FILES)
+    cache_path = tmp_path / "cache.json"
+    first = FlowCache.load(cache_path)
+    analyze(_load(root, tmp_path), first)
+
+    # Interface edit: new parameter. Cross-module call resolution may
+    # change, so every cached summary must be recomputed.
+    (root / "repro/nt/quiet.py").write_text(textwrap.dedent("""\
+        def double(n_ticks, scale):
+            return n_ticks * scale
+        """))
+    cache = FlowCache.load(cache_path)
+    analyze(_load(root, tmp_path), cache)
+    assert cache.stats.hits == 0
+    assert cache.stats.misses == first.stats.misses
+
+
+def test_edit_findings_update_through_warm_cache(tmp_path):
+    root = tmp_path / "tree"
+    _write_tree(root, FILES)
+    cache_path = tmp_path / "cache.json"
+    before = analyze(_load(root, tmp_path), FlowCache.load(cache_path))
+    assert any(f.rule == "F601" for f in before)
+
+    # Remove the wall-clock read; the warm run must drop the finding.
+    (root / "repro/nt/helpers.py").write_text(textwrap.dedent("""\
+        def stamp():
+            return 0
+        """))
+    after = analyze(_load(root, tmp_path), FlowCache.load(cache_path))
+    assert not any(f.rule == "F601" for f in after)
+
+
+def test_version_bump_and_corruption_start_fresh(tmp_path):
+    root = tmp_path / "tree"
+    _write_tree(root, FILES)
+    cache_path = tmp_path / "cache.json"
+    analyze(_load(root, tmp_path), FlowCache.load(cache_path))
+
+    doc = json.loads(cache_path.read_text())
+    assert doc["version"] == CACHE_VERSION
+    doc["version"] = CACHE_VERSION + 1
+    cache_path.write_text(json.dumps(doc))
+    stale = FlowCache.load(cache_path)
+    assert not stale.stats.loaded and not stale.entries
+
+    cache_path.write_text("{not json")
+    corrupt = FlowCache.load(cache_path)
+    assert not corrupt.stats.loaded and not corrupt.entries
+    # and a run over a corrupt cache still works and rewrites it
+    findings = analyze(_load(root, tmp_path), corrupt)
+    assert any(f.rule == "F601" for f in findings)
+    assert json.loads(cache_path.read_text())["version"] == CACHE_VERSION

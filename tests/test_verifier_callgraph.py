@@ -1,0 +1,256 @@
+"""Unit suite for the CHA-lite call-graph builder.
+
+The graph must resolve the call shapes the simulator actually uses —
+direct calls, ``self``/inherited methods, annotated receivers,
+constructor edges, dispatch tables, and ``forward_irp``-style callable
+arguments — and must handle recursion (SCCs) without spinning.
+Unresolvable receivers get *no* edge by design: precision first.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.verifier import collect_files, load_modules
+from repro.verifier.callgraph import build_callgraph, is_external
+from repro.verifier.symbols import build_symbols
+
+
+def _graph(tmp_path: Path, files: dict):
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    index = load_modules(collect_files([root]), root=tmp_path)
+    return build_callgraph(index)
+
+
+def _internal_callees(graph, caller):
+    return {s.callee for s in graph.callees(caller)
+            if not is_external(s.callee)}
+
+
+def test_direct_and_cross_module_calls(tmp_path):
+    graph = _graph(tmp_path, {
+        "repro/a.py": """\
+            def helper():
+                return 1
+
+            def entry():
+                return helper()
+            """,
+        "repro/b.py": """\
+            from repro.a import helper
+
+            def other():
+                return helper()
+            """,
+    })
+    assert _internal_callees(graph, "repro.a.entry") == {"repro.a.helper"}
+    assert _internal_callees(graph, "repro.b.other") == {"repro.a.helper"}
+
+
+def test_self_method_and_inherited_resolution(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        class Base:
+            def shared(self):
+                return 0
+
+        class Child(Base):
+            def run(self):
+                return self.shared() + self.own()
+
+            def own(self):
+                return 1
+        """})
+    assert _internal_callees(graph, "repro.a.Child.run") == {
+        "repro.a.Base.shared", "repro.a.Child.own"}
+
+
+def test_annotated_receiver_and_constructor_edges(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        class Device:
+            def __init__(self, speed):
+                self.speed = speed
+
+            def service(self):
+                return self.speed
+
+        def drive(dev: Device):
+            return dev.service()
+
+        def build():
+            dev = Device(7)
+            return dev.service()
+        """})
+    assert "repro.a.Device.service" in _internal_callees(
+        graph, "repro.a.drive")
+    callees = _internal_callees(graph, "repro.a.build")
+    assert "repro.a.Device.__init__" in callees
+    assert "repro.a.Device.service" in callees
+
+
+def test_unresolvable_receiver_gets_no_edge(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        class Engine:
+            def step(self):
+                return 1
+
+        def poke(thing):
+            return thing.step()
+        """})
+    assert _internal_callees(graph, "repro.a.poke") == set()
+
+
+def test_dispatch_table_edges(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        def on_read(irp):
+            return 1
+
+        def on_write(irp):
+            return 2
+
+        HANDLERS = {"read": on_read, "write": on_write}
+
+        def dispatch(kind, irp):
+            return HANDLERS[kind](irp)
+        """})
+    assert _internal_callees(graph, "repro.a.dispatch") == {
+        "repro.a.on_read", "repro.a.on_write"}
+
+
+def test_self_attribute_dispatch_table(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        class Driver:
+            def on_read(self, irp):
+                return 1
+
+            def on_write(self, irp):
+                return 2
+
+            def __init__(self):
+                self._handlers = {"r": self.on_read, "w": self.on_write}
+
+            def dispatch(self, kind, irp):
+                return self._handlers[kind](irp)
+        """})
+    assert _internal_callees(graph, "repro.a.Driver.dispatch") == {
+        "repro.a.Driver.on_read", "repro.a.Driver.on_write"}
+
+
+def test_callable_argument_is_a_may_call_edge(tmp_path):
+    # forward_irp(completion) idiom: passing a function reference as an
+    # argument means the callee may invoke it.
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        def completion(irp):
+            return irp
+
+        def forward(irp, fn):
+            return fn(irp)
+
+        def send(irp):
+            return forward(irp, completion)
+        """})
+    callees = _internal_callees(graph, "repro.a.send")
+    assert "repro.a.forward" in callees
+    assert "repro.a.completion" in callees
+
+
+def test_external_calls_recorded_as_leaves(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        import json
+
+        def dump(doc):
+            return json.dumps(doc)
+        """})
+    externals = {s.callee for s in graph.callees("repro.a.dump")
+                 if is_external(s.callee)}
+    assert any("json.dumps" in e for e in externals)
+
+
+def test_sccs_handle_mutual_recursion(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        def even(n):
+            return True if n == 0 else odd(n - 1)
+
+        def odd(n):
+            return False if n == 0 else even(n - 1)
+
+        def solo():
+            return even(4)
+        """})
+    components = graph.sccs()
+    by_member = {m: frozenset(c) for c in components for m in c}
+    assert by_member["repro.a.even"] == frozenset(
+        {"repro.a.even", "repro.a.odd"})
+    assert by_member["repro.a.solo"] == frozenset({"repro.a.solo"})
+    # scc_of agrees with sccs()
+    mapping = graph.scc_of()
+    assert mapping["repro.a.even"] == mapping["repro.a.odd"]
+    assert mapping["repro.a.even"] != mapping["repro.a.solo"]
+
+
+def test_self_recursion_is_a_singleton_cycle(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        def walk(node):
+            for child in node.children:
+                walk(child)
+        """})
+    assert _internal_callees(graph, "repro.a.walk") == {"repro.a.walk"}
+    assert ["repro.a.walk"] in graph.sccs()
+
+
+def test_module_body_is_a_scope(tmp_path):
+    graph = _graph(tmp_path, {"repro/a.py": """\
+        def setup():
+            return 1
+
+        STATE = setup()
+        """})
+    assert _internal_callees(graph, "repro.a.<module>") == {
+        "repro.a.setup"}
+
+
+def test_symbol_table_identity_hash_detection(tmp_path):
+    root = tmp_path / "tree"
+    (root / "repro").mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (root / "repro" / "a.py").write_text(textwrap.dedent("""\
+        from dataclasses import dataclass
+
+        class Plain:
+            pass
+
+        class Valued:
+            def __hash__(self):
+                return 0
+
+            def __eq__(self, other):
+                return True
+
+        class Derived(Plain):
+            pass
+
+        @dataclass
+        class Data:
+            x: int
+
+        class FromUnknown(SomeExternalBase):
+            pass
+        """))
+    index = load_modules(collect_files([root]), root=tmp_path)
+    table = build_symbols(index)
+    assert table.classes["repro.a.Plain"].uses_identity_hash(table)
+    assert table.classes["repro.a.Derived"].uses_identity_hash(table)
+    assert not table.classes["repro.a.Valued"].uses_identity_hash(table)
+    assert not table.classes["repro.a.Data"].uses_identity_hash(table)
+    assert not table.classes["repro.a.FromUnknown"].uses_identity_hash(
+        table)

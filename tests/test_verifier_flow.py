@@ -1,0 +1,273 @@
+"""Catch/clean fixtures for the interprocedural flow rules (F601/F602).
+
+F601 must convict a sim-scope function that reaches a wall-clock or
+entropy source through *any* call chain — including chains through
+helper modules outside the simulation packages — and must stay quiet
+for seeded, derived-from-the-seed code.  F602 must catch the two bug
+shapes this repository has actually shipped (the identity-hashed
+``dirty_maps`` set from PR 2 and the ``id()``-keyed LRU from PR 5) and
+stay quiet for value-semantics containers.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.verifier import collect_files, load_modules
+from repro.verifier.flow import analyze
+
+
+def _analyze(tmp_path: Path, files: dict):
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    index = load_modules(collect_files([root]), root=tmp_path)
+    return analyze(index)
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# F601: transitive wall-clock/entropy taint.
+
+
+def test_f601_catches_direct_source_in_sim_scope(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/bad.py": """\
+        import time
+
+        def tick():
+            return time.perf_counter()
+        """})
+    hits = [f for f in findings if f.rule == "F601"]
+    assert len(hits) == 1
+    assert "time.perf_counter" in hits[0].message
+    assert "repro.nt.bad.tick" in hits[0].message
+
+
+def test_f601_catches_transitive_chain_through_helper_module(tmp_path):
+    findings = _analyze(tmp_path, {
+        "repro/common/hostutil.py": """\
+            import time
+
+            def wall_stamp():
+                return time.time()
+            """,
+        "repro/nt/engine.py": """\
+            from repro.common.hostutil import wall_stamp
+
+            def advance(state):
+                state.t = wall_stamp()
+            """,
+    })
+    hits = [f for f in findings if f.rule == "F601"]
+    assert len(hits) == 1
+    assert "repro.nt.engine.advance" in hits[0].message
+    assert "wall_stamp" in hits[0].message
+    assert "time.time" in hits[0].message
+
+
+def test_f601_reports_at_earliest_sim_frame_only(tmp_path):
+    # helper is itself sim-scope: the root frame gets the finding, the
+    # callers of the already-convicted helper stay quiet.
+    findings = _analyze(tmp_path, {
+        "repro/nt/helpers.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        "repro/nt/engine.py": """\
+            from repro.nt.helpers import stamp
+
+            def advance(state):
+                state.t = stamp()
+            """,
+    })
+    hits = [f for f in findings if f.rule == "F601"]
+    assert len(hits) == 1
+    assert "repro.nt.helpers.stamp" in hits[0].message
+
+
+def test_f601_catches_unseeded_rng_and_uuid(tmp_path):
+    findings = _analyze(tmp_path, {"repro/workload/bad.py": """\
+        import random
+        import uuid
+
+        def label():
+            return uuid.uuid4()
+
+        def gen():
+            return random.Random()
+        """})
+    hits = [f for f in findings if f.rule == "F601"]
+    assert len(hits) == 2
+
+
+def test_f601_clean_for_seeded_simulation(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        import random
+
+        def build(seed):
+            rng = random.Random(seed)
+            return rng.random()
+
+        def advance(clock, ticks):
+            clock.advance(ticks)
+        """})
+    assert "F601" not in _rules(findings)
+
+
+def test_f601_ignores_sources_outside_sim_scope(tmp_path):
+    # analysis/ may read the host clock freely; only repro.nt,
+    # repro.workload, and repro.replay are in scope.
+    findings = _analyze(tmp_path, {"repro/analysis/report.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """})
+    assert "F601" not in _rules(findings)
+
+
+# --------------------------------------------------------------------- #
+# F602: identity flow into iterated/ordered/serialized containers.
+
+
+def test_f602_catches_the_dirty_maps_bug_shape(tmp_path):
+    # The PR-2 bug, reconstructed: control areas with default
+    # object.__hash__ collected in a set by one method, iterated by
+    # another — flush order then varies across processes.
+    findings = _analyze(tmp_path, {"repro/nt/cache/cc.py": """\
+        class ControlArea:
+            def __init__(self, name):
+                self.name = name
+
+        class CacheManager:
+            def __init__(self):
+                self.dirty_maps = set()
+
+            def mark_dirty(self, cmap: ControlArea):
+                self.dirty_maps.add(cmap)
+
+            def lazy_writer_scan(self):
+                for cmap in self.dirty_maps:
+                    yield cmap.name
+        """})
+    hits = [f for f in findings if f.rule == "F602"]
+    assert len(hits) == 1
+    assert "dirty_maps" in hits[0].message
+    assert "identity" in hits[0].message
+
+
+def test_f602_catches_id_keys_ordered_across_functions(tmp_path):
+    # The PR-5 bug shape: id() keys stored by one method, sorted by
+    # another — sort order is address order.
+    findings = _analyze(tmp_path, {"repro/nt/cache/lru.py": """\
+        class Lru:
+            def __init__(self):
+                self.order = {}
+
+            def touch(self, obj, tick):
+                self.order[id(obj)] = tick
+
+            def eviction_order(self):
+                return sorted(self.order)
+        """})
+    hits = [f for f in findings if f.rule == "F602"]
+    assert len(hits) == 1
+    assert "id()" in hits[0].message
+
+
+def test_f602_tracks_id_through_a_returning_helper(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/handles.py": """\
+        def make_key(obj):
+            return id(obj)
+
+        class Table:
+            def __init__(self):
+                self.keys = {}
+
+            def insert(self, obj):
+                self.keys[make_key(obj)] = obj
+
+            def dump(self):
+                return sorted(self.keys)
+        """})
+    hits = [f for f in findings if f.rule == "F602"]
+    assert len(hits) == 1
+
+
+def test_f602_clean_for_value_semantics_dataclass(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class FileKey:
+            volume: int
+            index: int
+
+        class Tracker:
+            def __init__(self):
+                self.seen = set()
+
+            def note(self, key: FileKey):
+                self.seen.add(key)
+
+            def ordered(self):
+                return sorted(self.seen)
+        """})
+    assert "F602" not in _rules(findings)
+
+
+def test_f602_clean_for_class_defining_hash(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        class Vpb:
+            def __init__(self, serial):
+                self.serial = serial
+
+            def __hash__(self):
+                return self.serial
+
+            def __eq__(self, other):
+                return self.serial == other.serial
+
+        class Mounts:
+            def __init__(self):
+                self.live = set()
+
+            def add(self, vpb: Vpb):
+                self.live.add(vpb)
+
+            def walk(self):
+                for vpb in self.live:
+                    yield vpb.serial
+        """})
+    assert "F602" not in _rules(findings)
+
+
+def test_f602_allows_identity_dict_probed_not_iterated(tmp_path):
+    # The sanctioned pattern from system.py: identity keys are fine
+    # while the container is only probed by the same live object.
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        class Registry:
+            def __init__(self):
+                self.watches = {}
+
+            def register(self, obj, cb):
+                self.watches[id(obj)] = cb
+
+            def lookup(self, obj):
+                return self.watches.get(id(obj))
+        """})
+    assert "F602" not in _rules(findings)

@@ -130,6 +130,43 @@ def test_d103_allows_sorted_listing(tmp_path):
     assert "D103" not in _rules_of(findings)
 
 
+def test_d103_catches_every_listing_spelling(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/anywhere.py": """\
+        import glob
+        import os
+        from glob import iglob
+        from pathlib import Path
+
+        def scan(d):
+            a = list(os.scandir(d))
+            b = [r for r, _dirs, _files in os.walk(d)]
+            c = glob.glob(d + "/*.py")
+            e = list(iglob(d + "/*.py"))
+            f = list(Path(d).iterdir())
+            g = list(Path(d).rglob("*.py"))
+            return a, b, c, e, f, g
+        """})
+    assert len([f for f in findings if f.rule == "D103"]) == 6
+
+
+def test_d103_allows_sorted_spellings_and_ast_walk(tmp_path):
+    findings = _findings_for(tmp_path, {"repro/anywhere.py": """\
+        import ast
+        import glob
+        import os
+        from pathlib import Path
+
+        def scan(d, tree):
+            a = sorted(os.scandir(d), key=lambda e: e.name)
+            c = sorted(glob.glob(d + "/*.py"))
+            f = sorted(Path(d).rglob("*.py"))
+            # not a directory listing: deterministic AST traversal
+            nodes = [n for n in ast.walk(tree)]
+            return a, c, f, nodes
+        """})
+    assert "D103" not in _rules_of(findings)
+
+
 def test_d201_catches_id_keys_in_sim_core_only(tmp_path):
     files = {
         "repro/nt/bad.py": """\

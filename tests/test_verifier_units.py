@@ -1,0 +1,183 @@
+"""Catch/clean fixtures for the unit-lattice rules (U801/U802).
+
+The lattice {ticks, bytes, wall_seconds, ratio, unknown} is seeded from
+naming conventions, so these tests pin both directions: conventionally
+named quantities that mix must be caught, and the exact conversion
+idioms the codebase actually uses (``TICKS_PER_SECOND`` products,
+``ticks_from_*`` calls, ``int(round(...))``) must stay clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.verifier import collect_files, load_modules
+from repro.verifier.flow import analyze
+
+
+def _analyze(tmp_path: Path, files: dict):
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    index = load_modules(collect_files([root]), root=tmp_path)
+    return analyze(index)
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# U801: quantity mixing.
+
+
+def test_u801_catches_ticks_plus_bytes(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/bad.py": """\
+        def total(service_ticks, nbytes):
+            return service_ticks + nbytes
+        """})
+    hits = [f for f in findings if f.rule == "U801"]
+    assert len(hits) == 1
+    assert "ticks" in hits[0].message and "bytes" in hits[0].message
+
+
+def test_u801_catches_ticks_vs_seconds_comparison(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/bad.py": """\
+        def expired(now_ticks, horizon_seconds):
+            return now_ticks > horizon_seconds
+        """})
+    hits = [f for f in findings if f.rule == "U801"]
+    assert len(hits) == 1
+    assert "comparison" in hits[0].message
+
+
+def test_u801_catches_mismatched_call_argument(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/bad.py": """\
+        def schedule(deadline_ticks):
+            return deadline_ticks
+
+        def plan(horizon_seconds):
+            return schedule(horizon_seconds)
+        """})
+    hits = [f for f in findings if f.rule == "U801"]
+    assert len(hits) == 1
+    assert "deadline_ticks" in hits[0].message
+
+
+def test_u801_clean_with_explicit_conversion_constant(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        TICKS_PER_SECOND = 10_000_000
+
+        def deadline(now_ticks, horizon_seconds):
+            return now_ticks + int(round(
+                horizon_seconds * TICKS_PER_SECOND))
+        """})
+    assert "U801" not in _rules(findings)
+
+
+def test_u801_clean_for_same_unit_arithmetic(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        def window(start_ticks, service_ticks, queue_ticks):
+            return start_ticks + service_ticks + queue_ticks
+
+        def payload(header_bytes, data_bytes):
+            return header_bytes + data_bytes
+        """})
+    assert "U801" not in _rules(findings)
+
+
+def test_u801_clean_through_conversion_function(tmp_path):
+    # X_from_Y functions accept any unit by contract.
+    findings = _analyze(tmp_path, {"repro/nt/ok.py": """\
+        TICKS_PER_SECOND = 10_000_000
+
+        def ticks_from_seconds(seconds):
+            return int(round(seconds * TICKS_PER_SECOND))
+
+        def deadline(now_ticks, horizon_seconds):
+            return now_ticks + ticks_from_seconds(horizon_seconds)
+        """})
+    assert "U801" not in _rules(findings)
+
+
+# --------------------------------------------------------------------- #
+# U802: float contamination of tick state in exact layers.
+
+
+def test_u802_catches_division_into_tick_variable(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/storage/bad.py": """\
+        def halved(base_ticks):
+            wait_ticks = base_ticks / 2
+            return wait_ticks
+        """})
+    hits = [f for f in findings if f.rule == "U802"]
+    assert hits
+    assert "wait_ticks" in hits[0].message
+
+
+def test_u802_catches_float_folded_into_tick_attribute(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/cache/bad.py": """\
+        class Aging:
+            def __init__(self):
+                self.age_ticks = 0
+
+            def decay(self, factor):
+                self.age_ticks += self.age_ticks * 0.5
+        """})
+    hits = [f for f in findings if f.rule == "U802"]
+    assert len(hits) == 1
+    assert "age_ticks" in hits[0].message
+
+
+def test_u802_catches_float_passed_to_tick_parameter(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/storage/bad.py": """\
+        def advance(clock, ticks):
+            return ticks
+
+        def step(clock, span_ticks):
+            return advance(clock, span_ticks / 4)
+        """})
+    hits = [f for f in findings if f.rule == "U802"]
+    assert len(hits) == 1
+
+
+def test_u802_clean_with_int_round_sanitizer(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/storage/ok.py": """\
+        TICKS_PER_MICROSECOND = 10
+
+        def ticks_from_micros(micros):
+            return int(round(micros * TICKS_PER_MICROSECOND))
+
+        def service_ticks(positioning, nbytes, bytes_per_second):
+            return max(1, ticks_from_micros(
+                positioning + nbytes * 1e6 / bytes_per_second))
+        """})
+    assert "U802" not in _rules(findings)
+
+
+def test_u802_does_not_apply_outside_exact_layers(tmp_path):
+    # workload code computing a float estimate named *_ticks is the
+    # F/D families' business at worst, not U802's.
+    findings = _analyze(tmp_path, {"repro/workload/ok.py": """\
+        def estimate(budget_ticks):
+            mean_ticks = budget_ticks / 3
+            return mean_ticks
+        """})
+    assert "U802" not in _rules(findings)
+
+
+def test_u802_clean_for_ratio_returns(tmp_path):
+    findings = _analyze(tmp_path, {"repro/nt/storage/ok.py": """\
+        def positioning_scale(depth):
+            return 1.0 / (1.0 + 0.5 * min(depth, 8))
+        """})
+    assert "U802" not in _rules(findings)
